@@ -1,0 +1,31 @@
+//! Criterion benchmarks of the local SpGEMM: hash vs heap algorithms and
+//! sorted vs unsorted emission (the Fig 6 multiply-side effect).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spk_gen::protein_similarity_matrix;
+use spk_spgemm::{spgemm_hash, spgemm_heap, SpgemmOptions};
+
+fn bench_spgemm(c: &mut Criterion) {
+    let a = protein_similarity_matrix(4096, 12, 64, 0.85, 42);
+    let sorted = SpgemmOptions::default();
+    let unsorted = SpgemmOptions {
+        sorted_output: false,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("spgemm_local");
+    group.sample_size(10);
+    group.bench_function("hash_sorted", |b| {
+        b.iter(|| spgemm_hash(&a, &a, &sorted).expect("spgemm failed"));
+    });
+    group.bench_function("hash_unsorted", |b| {
+        b.iter(|| spgemm_hash(&a, &a, &unsorted).expect("spgemm failed"));
+    });
+    group.bench_function("heap", |b| {
+        b.iter(|| spgemm_heap(&a, &a, &sorted).expect("spgemm failed"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm);
+criterion_main!(benches);

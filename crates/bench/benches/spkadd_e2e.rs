@@ -1,0 +1,31 @@
+//! Criterion end-to-end SpKAdd benchmarks: the k-way algorithms and the
+//! 2-way tree on a fixed ER collection (Table III's center cell, scaled).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spk_gen::{generate_collection, Pattern};
+use spkadd::{spkadd_with, Algorithm, Options};
+
+fn bench_e2e(c: &mut Criterion) {
+    let mats = generate_collection(Pattern::Er, 1 << 14, 32, 64, 16, 42);
+    let refs: Vec<&spk_sparse::CscMatrix<f64>> = mats.iter().collect();
+    let mut opts = Options::default();
+    opts.validate_sorted = false;
+
+    let mut group = c.benchmark_group("spkadd_e2e");
+    group.sample_size(15);
+    for alg in [
+        Algorithm::Hash,
+        Algorithm::SlidingHash,
+        Algorithm::Spa,
+        Algorithm::Heap,
+        Algorithm::TwoWayTree,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
+            b.iter(|| spkadd_with(&refs, alg, &opts).expect("spkadd failed"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the symbolic phase strategies (§II-D) on a
+//! high-compression collection, where the symbolic tables are cf× larger
+//! than the numeric ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spk_gen::{protein_collection, ProteinConfig};
+use spkadd::{spkadd_with, Algorithm, Options, SymbolicStrategy};
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mats = protein_collection(
+        &ProteinConfig {
+            nrows: 1 << 14,
+            ncols: 128,
+            d: 32,
+            k: 16,
+            cf: 8.0,
+            skew: 0.4,
+        },
+        42,
+    );
+    let refs: Vec<&spk_sparse::CscMatrix<f64>> = mats.iter().collect();
+
+    let mut group = c.benchmark_group("symbolic");
+    group.sample_size(15);
+    for strategy in [
+        SymbolicStrategy::Hash,
+        SymbolicStrategy::SlidingHash,
+        SymbolicStrategy::Spa,
+        SymbolicStrategy::Heap,
+        SymbolicStrategy::UpperBound,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{strategy:?}")), |b| {
+            let mut opts = Options::default();
+            opts.validate_sorted = false;
+            opts.symbolic = strategy;
+            b.iter(|| spkadd_with(&refs, Algorithm::Hash, &opts).expect("spkadd failed"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! # spk-bench — harness utilities for regenerating the paper's tables
+//! and figures.
+//!
+//! Every table/figure has a dedicated binary under `src/bin/` (see
+//! DESIGN.md's per-experiment index). This library holds what they share:
+//! a tiny flag parser, wall-clock helpers, an aligned table printer, and
+//! the paper-shaped workload constructors.
+//!
+//! All harnesses run at a laptop scale by default and accept
+//! `--rows/--cols/--k/--d/--threads` overrides plus `--full` for
+//! paper-scale parameters (see EXPERIMENTS.md for what was actually run).
+
+pub mod tables;
+
+use spk_sparse::CscMatrix;
+use std::time::Instant;
+
+/// Minimal `--flag value` / `--flag` parser over `std::env::args`.
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// From an explicit vector (tests).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Self { raw }
+    }
+
+    /// `true` if `--name` appears.
+    pub fn flag(&self, name: &str) -> bool {
+        let want = format!("--{name}");
+        self.raw.iter().any(|a| a == &want)
+    }
+
+    /// The value following `--name`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let want = format!("--{name}");
+        for w in self.raw.windows(2) {
+            if w[0] == want {
+                if let Ok(v) = w[1].parse() {
+                    return v;
+                }
+            }
+        }
+        default
+    }
+
+    /// Comma-separated list following `--name`, or `default`.
+    pub fn get_list(&self, name: &str, default: &[usize]) -> Vec<usize> {
+        let want = format!("--{name}");
+        for w in self.raw.windows(2) {
+            if w[0] == want {
+                let parsed: Vec<usize> =
+                    w[1].split(',').filter_map(|t| t.parse().ok()).collect();
+                if !parsed.is_empty() {
+                    return parsed;
+                }
+            }
+        }
+        default.to_vec()
+    }
+}
+
+/// Times one invocation of `f` in seconds.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Runs `f` `reps` times and returns (last result, best seconds).
+pub fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let (r, t) = time_once(&mut f);
+        best = best.min(t);
+        out = Some(r);
+    }
+    (out.unwrap(), best)
+}
+
+/// Prints an aligned text table; the first row is the header.
+pub fn print_table(rows: &[Vec<String>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap();
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{cell:>width$}", width = widths[c]))
+            .collect();
+        println!("{}", line.join("  "));
+        if i == 0 {
+            println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        }
+    }
+}
+
+/// Formats seconds with 4 significant decimals, like the paper's tables.
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.4}")
+}
+
+/// Paper-shaped workloads at harness scale.
+pub mod workloads {
+    use super::*;
+    use spk_gen::{generate_collection, protein_collection, Pattern, ProteinConfig};
+
+    /// The paper's ER SpKAdd input: `k` matrices of `m × n`, `d` nnz/col.
+    pub fn er_collection(m: usize, n: usize, d: usize, k: usize, seed: u64) -> Vec<CscMatrix<f64>> {
+        generate_collection(Pattern::Er, m, n, d, k, seed)
+    }
+
+    /// The paper's RMAT (G500) SpKAdd input.
+    pub fn rmat_collection(
+        m: usize,
+        n: usize,
+        d: usize,
+        k: usize,
+        seed: u64,
+    ) -> Vec<CscMatrix<f64>> {
+        generate_collection(Pattern::Rmat, m, n, d, k, seed)
+    }
+
+    /// Eukarya-like SpGEMM intermediates: k matrices with cf ≈ 22.6
+    /// (Fig 3(c), Fig 4(d)).
+    pub fn eukarya_like(m: usize, n: usize, d: usize, k: usize, seed: u64) -> Vec<CscMatrix<f64>> {
+        protein_collection(
+            &ProteinConfig {
+                nrows: m,
+                ncols: n,
+                d,
+                k,
+                cf: 22.6,
+                skew: 0.6,
+            },
+            seed,
+        )
+    }
+
+    /// Total input nonzeros of a collection.
+    pub fn total_nnz(mats: &[CscMatrix<f64>]) -> usize {
+        mats.iter().map(|m| m.nnz()).sum()
+    }
+}
+
+/// Borrow helper: `&[CscMatrix] -> Vec<&CscMatrix>`.
+pub fn refs(mats: &[CscMatrix<f64>]) -> Vec<&CscMatrix<f64>> {
+    mats.iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_values_lists() {
+        let a = Args::from_vec(vec![
+            "--full".into(),
+            "--rows".into(),
+            "1024".into(),
+            "--d".into(),
+            "4,8,16".into(),
+        ]);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.get("rows", 0usize), 1024);
+        assert_eq!(a.get("cols", 7usize), 7);
+        assert_eq!(a.get_list("d", &[1]), vec![4, 8, 16]);
+        assert_eq!(a.get_list("k", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn timing_helpers_return_positive() {
+        let (v, t) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+        let (v, t) = time_best(3, || 2 * 2);
+        assert_eq!(v, 4);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn workload_shapes() {
+        let ms = workloads::er_collection(256, 8, 4, 4, 1);
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms[0].shape(), (256, 8));
+        assert!(workloads::total_nnz(&ms) > 0);
+        let e = workloads::eukarya_like(512, 16, 8, 4, 2);
+        assert_eq!(e.len(), 4);
+    }
+}

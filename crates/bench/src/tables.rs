@@ -1,0 +1,122 @@
+//! Shared driver for the runtime tables (Table III = ER, Table IV = RMAT):
+//! all eight SpKAdd algorithms across a (k, d) grid, fastest per column
+//! starred, quadratic algorithms skipped past a work guard (the paper's
+//! "could not run" entries).
+
+use crate::{fmt_secs, print_table, refs, time_best, workloads, Args};
+use spk_sparse::CscMatrix;
+use spkadd::{Algorithm, Options};
+
+/// Runs one runtime table and prints it.
+///
+/// * `gen` — collection generator `(m, n, d, k, seed)`;
+/// * `default_d` / `full_d` — the d sweep at harness/paper scale.
+pub fn run_runtime_table(
+    args: &Args,
+    pattern: &str,
+    gen: fn(usize, usize, usize, usize, u64) -> Vec<CscMatrix<f64>>,
+    default_d: &[usize],
+    full_d: &[usize],
+) {
+    let full = args.flag("full");
+    let m = args.get("rows", if full { 1 << 22 } else { 1 << 16 });
+    let n = args.get("cols", if full { 1024 } else { 64 });
+    let ks = args.get_list("k", &[4, 32, 128]);
+    let ds = args.get_list("d", if full { full_d } else { default_d });
+    let threads = args.get("threads", 0usize);
+    let reps = args.get("reps", 1usize);
+    let guard: f64 = args.get("guard", 1.5e9);
+
+    let mut opts = Options::default();
+    opts.threads = threads;
+    opts.validate_sorted = false; // generated inputs are sorted
+
+    println!(
+        "Runtime table (sec): pattern={pattern}, rows={m}, cols={n}, threads={}",
+        if threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            threads
+        }
+    );
+
+    let mut header = vec!["Algorithm".to_string()];
+    for &d in &ds {
+        for &k in &ks {
+            header.push(format!("d={d},k={k}"));
+        }
+    }
+    let mut rows_out: Vec<Vec<String>> = vec![header];
+    let mut cells: Vec<Vec<Option<f64>>> = vec![Vec::new(); Algorithm::ALL.len()];
+
+    for &d in &ds {
+        for &k in &ks {
+            let mats = gen(m, n, d, k, 42);
+            let mrefs = refs(&mats);
+            let inz = workloads::total_nnz(&mats) as f64;
+            for (ai, alg) in Algorithm::ALL.iter().enumerate() {
+                let est = estimated_work(*alg, inz, k);
+                if est > guard {
+                    cells[ai].push(None);
+                    continue;
+                }
+                let (_, secs) = time_best(reps, || {
+                    spkadd::spkadd_with(&mrefs, *alg, &opts).expect("spkadd failed")
+                });
+                cells[ai].push(Some(secs));
+            }
+        }
+    }
+
+    // Mark the fastest algorithm per column with '*' (the paper's green).
+    let ncols = cells[0].len();
+    let mut best = vec![f64::INFINITY; ncols];
+    for row in &cells {
+        for (c, v) in row.iter().enumerate() {
+            if let Some(t) = v {
+                best[c] = best[c].min(*t);
+            }
+        }
+    }
+    for (ai, alg) in Algorithm::ALL.iter().enumerate() {
+        let mut row = vec![alg.name().to_string()];
+        for (c, v) in cells[ai].iter().enumerate() {
+            row.push(match v {
+                Some(t) if *t == best[c] => format!("{}*", fmt_secs(*t)),
+                Some(t) => fmt_secs(*t),
+                None => "—".to_string(),
+            });
+        }
+        rows_out.push(row);
+    }
+    print_table(&rows_out);
+    println!("(* = fastest in column; — = skipped by the work guard)");
+}
+
+/// Rough work estimate used for the "could not run" guard.
+pub fn estimated_work(alg: Algorithm, total_input_nnz: f64, k: usize) -> f64 {
+    match alg {
+        Algorithm::TwoWayIncremental => total_input_nnz * k as f64 / 2.0,
+        Algorithm::LibIncremental => total_input_nnz * k as f64 * 2.0,
+        Algorithm::LibTree => total_input_nnz * (k as f64).log2().max(1.0) * 4.0,
+        _ => total_input_nnz * (k as f64).log2().max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_orders_algorithms() {
+        let inz = 1e6;
+        assert!(
+            estimated_work(Algorithm::LibIncremental, inz, 64)
+                > estimated_work(Algorithm::TwoWayIncremental, inz, 64)
+        );
+        assert!(
+            estimated_work(Algorithm::TwoWayIncremental, inz, 64)
+                > estimated_work(Algorithm::Hash, inz, 64)
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! # spk-cachesim — trace-driven cache hierarchy simulator
+//!
+//! Reproduces the paper's Cachegrind experiment (Table V: last-level
+//! cache misses of hash vs sliding-hash SpKAdd) without Valgrind: the
+//! SpKAdd kernels are generic over [`spkadd::MemModel`], so running them
+//! with a [`CacheHierarchy`] replays their *exact* address streams —
+//! input column reads, hash probes, output writes — through a
+//! set-associative LRU hierarchy.
+//!
+//! Like Cachegrind, the simulation is single-threaded; multi-threaded
+//! cache sharing is modelled the way the sliding-hash algorithm itself
+//! models it — by giving the simulated thread a `1/T` share of the LLC
+//! (see the Table V harness in `spk-bench`).
+
+use spkadd::mem::MemModel;
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses that hit.
+    pub read_hits: u64,
+    /// Read accesses that missed.
+    pub read_misses: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed.
+    pub write_misses: u64,
+}
+
+impl CacheStats {
+    /// All misses (read + write).
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// All accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when no accesses were made.
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / a as f64
+        }
+    }
+}
+
+/// One set-associative, LRU, write-allocate cache level.
+#[derive(Debug, Clone)]
+pub struct CacheLevel {
+    /// Human-readable level name ("L1", "LL", …).
+    pub name: &'static str,
+    line_bytes: usize,
+    sets: usize,
+    assoc: usize,
+    /// `tags[set]` holds up to `assoc` line tags, most recent last.
+    tags: Vec<Vec<u64>>,
+    /// Access statistics.
+    pub stats: CacheStats,
+}
+
+impl CacheLevel {
+    /// Builds a level of `capacity` bytes with the given line size and
+    /// associativity. Capacity is rounded down to a whole number of sets
+    /// (at least one).
+    pub fn new(name: &'static str, capacity: usize, line_bytes: usize, assoc: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(assoc >= 1);
+        let sets = (capacity / (line_bytes * assoc)).max(1);
+        Self {
+            name,
+            line_bytes,
+            sets,
+            assoc,
+            tags: vec![Vec::new(); sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Effective capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.assoc * self.line_bytes
+    }
+
+    /// Looks up (and on miss, fills) one line. Returns `true` on hit.
+    fn touch_line(&mut self, line_addr: u64, write: bool) -> bool {
+        let set = (line_addr as usize) % self.sets;
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line_addr) {
+            ways.remove(pos);
+            ways.push(line_addr); // move to MRU
+            if write {
+                self.stats.write_hits += 1;
+            } else {
+                self.stats.read_hits += 1;
+            }
+            true
+        } else {
+            if ways.len() == self.assoc {
+                ways.remove(0); // evict LRU
+            }
+            ways.push(line_addr);
+            if write {
+                self.stats.write_misses += 1;
+            } else {
+                self.stats.read_misses += 1;
+            }
+            false
+        }
+    }
+}
+
+/// A multi-level inclusive hierarchy: an access walks the levels until it
+/// hits; every missed level is filled.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    levels: Vec<CacheLevel>,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from outermost-last levels (`[L1, L2, LL]`).
+    pub fn new(levels: Vec<CacheLevel>) -> Self {
+        assert!(!levels.is_empty());
+        Self { levels }
+    }
+
+    /// A Skylake-like hierarchy (Table II): 32 KB 8-way L1, 1 MB 16-way
+    /// L2, and a caller-sized 11-way LL cache, 64-byte lines throughout.
+    pub fn skylake_like(llc_bytes: usize) -> Self {
+        Self::new(vec![
+            CacheLevel::new("L1", 32 << 10, 64, 8),
+            CacheLevel::new("L2", 1 << 20, 64, 16),
+            CacheLevel::new("LL", llc_bytes, 64, 11),
+        ])
+    }
+
+    /// An EPYC-like hierarchy (Table II): 32 KB L1, 512 KB L2, and a
+    /// caller-sized LL cache (the paper's EPYC has 8 MB per CCX).
+    pub fn epyc_like(llc_bytes: usize) -> Self {
+        Self::new(vec![
+            CacheLevel::new("L1", 32 << 10, 64, 8),
+            CacheLevel::new("L2", 512 << 10, 64, 8),
+            CacheLevel::new("LL", llc_bytes, 64, 16),
+        ])
+    }
+
+    /// Simulates one access of `bytes` bytes at `addr`, touching every
+    /// spanned line.
+    pub fn access(&mut self, addr: usize, bytes: usize, write: bool) {
+        if bytes == 0 {
+            return;
+        }
+        let line = self.levels[0].line_bytes as u64;
+        let first = addr as u64 / line;
+        let last = (addr + bytes - 1) as u64 / line;
+        for line_addr in first..=last {
+            for level in &mut self.levels {
+                if level.touch_line(line_addr, write) {
+                    break; // hit: inner levels already filled on the way
+                }
+            }
+        }
+    }
+
+    /// Statistics of the last (outermost) level — the paper's "LL".
+    pub fn ll_stats(&self) -> CacheStats {
+        self.levels.last().unwrap().stats
+    }
+
+    /// Statistics of every level, innermost first.
+    pub fn all_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        self.levels.iter().map(|l| (l.name, l.stats)).collect()
+    }
+
+    /// Resets all counters (keeps cache contents).
+    pub fn reset_stats(&mut self) {
+        for l in &mut self.levels {
+            l.stats = CacheStats::default();
+        }
+    }
+}
+
+impl MemModel for CacheHierarchy {
+    #[inline]
+    fn read(&mut self, addr: usize, bytes: usize) {
+        self.access(addr, bytes, false);
+    }
+    #[inline]
+    fn write(&mut self, addr: usize, bytes: usize) {
+        self.access(addr, bytes, true);
+    }
+    #[inline]
+    fn op(&mut self, _n: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spk_sparse::CscMatrix;
+    use spkadd::metered::trace_spkadd;
+    use spkadd::Algorithm;
+
+    #[test]
+    fn sequential_streaming_mostly_hits() {
+        let mut h = CacheHierarchy::skylake_like(1 << 20);
+        // Stream 64 KB sequentially in 8-byte reads: one compulsory miss
+        // per 64-byte line, 7 hits.
+        for i in 0..8192usize {
+            h.access(i * 8, 8, false);
+        }
+        let l1 = h.all_stats()[0].1;
+        assert_eq!(l1.read_misses, 1024, "one miss per line");
+        assert_eq!(l1.read_hits, 7168);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut small = CacheLevel::new("t", 4 << 10, 64, 4);
+        // Cyclic sweep over 64 KB with a 4 KB cache: every access to a new
+        // line misses on every pass (LRU worst case).
+        for pass in 0..3 {
+            for i in 0..1024usize {
+                small.touch_line(i as u64, false);
+            }
+            let _ = pass;
+        }
+        assert_eq!(small.stats.read_misses, 3 * 1024);
+        assert_eq!(small.stats.read_hits, 0);
+    }
+
+    #[test]
+    fn lru_keeps_hot_lines() {
+        let mut l = CacheLevel::new("t", 4 * 64, 64, 4); // 4 lines, 1 set? no: sets=1, assoc=4
+        assert_eq!(l.capacity(), 256);
+        // Touch lines 0..4 (fills), re-touch 0 (hit), touch 4 (evicts LRU=1).
+        for i in 0..4u64 {
+            l.touch_line(i, false);
+        }
+        assert!(l.touch_line(0, false), "0 still resident");
+        l.touch_line(4, false); // evicts 1
+        assert!(!l.touch_line(1, false), "1 was evicted");
+        assert!(l.touch_line(0, false), "0 survived as MRU");
+    }
+
+    #[test]
+    fn hierarchy_fills_inner_levels() {
+        let mut h = CacheHierarchy::new(vec![
+            CacheLevel::new("L1", 128, 64, 2),
+            CacheLevel::new("LL", 1 << 16, 64, 8),
+        ]);
+        h.access(0, 8, false); // miss both
+        h.access(0, 8, false); // hit L1
+        let stats = h.all_stats();
+        assert_eq!(stats[0].1.read_misses, 1);
+        assert_eq!(stats[0].1.read_hits, 1);
+        assert_eq!(stats[1].1.read_misses, 1);
+        assert_eq!(stats[1].1.read_hits, 0, "second access never reached LL");
+    }
+
+    #[test]
+    fn multi_line_access_touches_every_line() {
+        let mut h = CacheHierarchy::skylake_like(1 << 20);
+        h.access(0, 256, false); // 4 lines
+        assert_eq!(h.all_stats()[0].1.read_misses, 4);
+    }
+
+    /// The Table V effect in miniature: with a big output column and a
+    /// tiny LLC, sliding hash takes fewer LL misses than plain hash.
+    #[test]
+    fn sliding_beats_hash_on_ll_misses_when_table_spills() {
+        // One column, 32k distinct rows over 256k row space: the numeric
+        // hash table needs 64k entries ≈ 768 KB ≫ the 64 KB LLC below.
+        let d = 32_768usize;
+        let m = 1 << 18;
+        let mats: Vec<CscMatrix<f64>> = (0..2u64)
+            .map(|s| {
+                let mut rows: Vec<u32> = (0..d)
+                    .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(s * 7919))
+                        % m as u64) as u32)
+                    .collect();
+                rows.sort_unstable();
+                rows.dedup();
+                let nnz = rows.len();
+                CscMatrix::try_new(m, 1, vec![0, nnz], rows, vec![1.0; nnz]).unwrap()
+            })
+            .collect();
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+
+        let llc = 64 << 10;
+        let mut plain = CacheHierarchy::skylake_like(llc);
+        trace_spkadd(&refs, Algorithm::Hash, usize::MAX, &mut plain).unwrap();
+
+        let mut sliding = CacheHierarchy::skylake_like(llc);
+        // Budget sized to the LLC share: 64 KB / 12 B/entry ≈ 5 400.
+        trace_spkadd(&refs, Algorithm::SlidingHash, 4096, &mut sliding).unwrap();
+
+        let (pm, sm) = (plain.ll_stats().misses(), sliding.ll_stats().misses());
+        assert!(
+            sm * 2 < pm,
+            "sliding LL misses {sm} should be well under hash's {pm}"
+        );
+    }
+
+    #[test]
+    fn reset_stats_clears_counters_only() {
+        let mut h = CacheHierarchy::skylake_like(1 << 20);
+        h.access(0, 8, false);
+        h.reset_stats();
+        assert_eq!(h.ll_stats().accesses(), 0);
+        h.access(0, 8, false);
+        assert_eq!(
+            h.all_stats()[0].1.read_hits,
+            1,
+            "contents survived the stats reset"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the cache simulator: conservation laws and
+//! monotonicity that any set-associative LRU hierarchy must satisfy.
+
+use proptest::prelude::*;
+use spk_cachesim::{CacheHierarchy, CacheLevel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inner-level hits never reach outer levels: accesses(L_{i+1}) =
+    /// misses(L_i), and every level's hits + misses equals what arrived.
+    #[test]
+    fn level_traffic_conserves(
+        addrs in proptest::collection::vec((0usize..1 << 16, 1usize..64), 1..400),
+    ) {
+        let mut h = CacheHierarchy::new(vec![
+            CacheLevel::new("L1", 1 << 10, 64, 2),
+            CacheLevel::new("L2", 4 << 10, 64, 4),
+            CacheLevel::new("LL", 16 << 10, 64, 8),
+        ]);
+        let mut lines_issued = 0u64;
+        for &(addr, bytes) in &addrs {
+            let first = addr / 64;
+            let last = (addr + bytes - 1) / 64;
+            lines_issued += (last - first + 1) as u64;
+            h.access(addr, bytes, false);
+        }
+        let stats = h.all_stats();
+        prop_assert_eq!(stats[0].1.accesses(), lines_issued);
+        prop_assert_eq!(stats[1].1.accesses(), stats[0].1.misses());
+        prop_assert_eq!(stats[2].1.accesses(), stats[1].1.misses());
+    }
+
+    /// A strictly larger (same-geometry) cache never takes more misses on
+    /// the same single-level trace (LRU inclusion property).
+    #[test]
+    fn bigger_cache_never_misses_more(
+        addrs in proptest::collection::vec(0usize..1 << 14, 1..500),
+    ) {
+        let mut small = CacheHierarchy::new(vec![CacheLevel::new("c", 1 << 10, 64, 16)]);
+        let mut big = CacheHierarchy::new(vec![CacheLevel::new("c", 4 << 10, 64, 64)]);
+        for &a in &addrs {
+            small.access(a, 8, false);
+            big.access(a, 8, false);
+        }
+        // With full associativity at both sizes, LRU satisfies inclusion.
+        prop_assert!(big.ll_stats().misses() <= small.ll_stats().misses());
+    }
+
+    /// Repeating a working set that fits produces no new misses.
+    #[test]
+    fn resident_set_replays_for_free(
+        lines in proptest::collection::vec(0usize..8, 1..64),
+    ) {
+        // 8 distinct lines, cache holds 16.
+        let mut h = CacheHierarchy::new(vec![CacheLevel::new("c", 16 * 64, 64, 16)]);
+        for &l in &lines {
+            h.access(l * 64, 8, false);
+        }
+        let misses_after_warmup = h.ll_stats().misses();
+        for &l in &lines {
+            h.access(l * 64, 8, false);
+        }
+        prop_assert_eq!(h.ll_stats().misses(), misses_after_warmup);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for SpKAdd operations.
+
+use spk_sparse::SparseError;
+use std::fmt;
+
+/// Errors returned by the SpKAdd entry points.
+#[derive(Debug)]
+pub enum SpkaddError {
+    /// Structural/shape problem reported by the sparse substrate.
+    Sparse(SparseError),
+    /// An algorithm that requires sorted input columns (2-way merges, the
+    /// heap algorithm — Table I of the paper) received unsorted input.
+    UnsortedInput {
+        /// Name of the algorithm that refused the input.
+        algorithm: &'static str,
+        /// Index of the offending matrix in the collection.
+        operand: usize,
+    },
+    /// An option combination is invalid (reason in the payload).
+    InvalidOptions(String),
+}
+
+impl fmt::Display for SpkaddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpkaddError::Sparse(e) => write!(f, "{e}"),
+            SpkaddError::UnsortedInput { algorithm, operand } => write!(
+                f,
+                "algorithm '{algorithm}' requires sorted input columns, but \
+                 matrix {operand} is unsorted (sort with \
+                 CscMatrix::sort_columns, or use the hash/SPA algorithms \
+                 which accept unsorted inputs)"
+            ),
+            SpkaddError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpkaddError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpkaddError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for SpkaddError {
+    fn from(e: SparseError) -> Self {
+        SpkaddError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_remedy() {
+        let e = SpkaddError::UnsortedInput {
+            algorithm: "heap",
+            operand: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("heap"));
+        assert!(s.contains("matrix 3"));
+        assert!(s.contains("sort_columns"));
+    }
+
+    #[test]
+    fn wraps_sparse_errors() {
+        use std::error::Error;
+        let e: SpkaddError = SparseError::EmptyCollection.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("at least one"));
+    }
+}

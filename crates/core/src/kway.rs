@@ -1,0 +1,328 @@
+//! The parallel k-way numeric driver (Algorithm 2 + §III-A).
+//!
+//! One code path serves the heap, SPA, hash, and sliding-hash algorithms:
+//! the symbolic phase has already produced per-column output sizes, so the
+//! driver prefix-sums them into the output column pointer, splits the
+//! output arrays into per-task disjoint windows (no synchronization), and
+//! runs the chosen column kernel over weight-balanced column ranges with
+//! thread-private workspaces.
+
+use crate::hashtab::HashAccumulator;
+use crate::heap::KwayHeap;
+use crate::kernels::{hash_add_column, heap_add_column, spa_add_column};
+use crate::mem::NullModel;
+use crate::parallel::{exclusive_prefix_sum, plan_ranges, split_output};
+use crate::sliding::{sliding_add_column, SlidingScratch};
+use crate::spa::{sliding_spa_add_column, Spa};
+use crate::symbolic::DriverCtx;
+use rayon::prelude::*;
+use spk_sparse::{ColView, CscMatrix, Scalar};
+
+/// Which column kernel the numeric phase runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NumericKernel {
+    Hash,
+    SlidingHash,
+    Spa,
+    SlidingSpa,
+    Heap,
+}
+
+/// Runs the numeric phase. `counts[j]` must be an exact size or an upper
+/// bound for `nnz(B(:,j))`; when it is only an upper bound
+/// (`exact = false`) the result is compacted afterwards.
+pub(crate) fn kway_numeric<T: Scalar>(
+    mats: &[&CscMatrix<T>],
+    counts: &[usize],
+    exact: bool,
+    kernel: NumericKernel,
+    ctx: &DriverCtx,
+) -> CscMatrix<T> {
+    let n = mats[0].ncols();
+    let m = mats[0].nrows();
+    let k = mats.len();
+    debug_assert_eq!(counts.len(), n);
+
+    let colptr = exclusive_prefix_sum(counts);
+    let nnz_alloc = *colptr.last().unwrap();
+    let mut rowidx = vec![0u32; nnz_alloc];
+    let mut values = vec![T::default(); nnz_alloc];
+
+    // Numeric-phase load balancing uses output nonzeros per column (§III-A).
+    let ranges = plan_ranges(counts, 0, ctx.sched);
+    let chunks = split_output(&colptr, &ranges, &mut rowidx, &mut values);
+
+    // Per-task actual counts (differ from `counts` when inexact).
+    let mut actual = vec![0usize; n];
+    let mut actual_parts: Vec<&mut [usize]> = Vec::with_capacity(ranges.len());
+    {
+        let mut rest = actual.as_mut_slice();
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            actual_parts.push(head);
+            rest = tail;
+        }
+    }
+
+    // Thread-private workspaces (§III-A): one per worker, reused across
+    // all chunks that worker steals, so the SPA's O(m) array and the hash
+    // tables are allocated T times — not once per chunk.
+    let nthreads = rayon::current_num_threads().max(1);
+    let ws_pool: Vec<std::sync::Mutex<Option<Workspace<T>>>> =
+        (0..nthreads).map(|_| std::sync::Mutex::new(None)).collect();
+
+    chunks
+        .into_par_iter()
+        .zip(actual_parts.into_par_iter())
+        .for_each(|(chunk, actual_out)| {
+            let mut views: Vec<ColView<'_, T>> = Vec::with_capacity(k);
+            let mut mem = NullModel;
+            let tid = rayon::current_thread_index().unwrap_or(0) % nthreads;
+            let mut ws_guard = ws_pool[tid].lock().expect("workspace mutex poisoned");
+            let ws = ws_guard.get_or_insert_with(|| Workspace::<T>::new(kernel, m, k, ctx.budget_add));
+            for (slot, j) in chunk.cols.clone().enumerate() {
+                views.clear();
+                views.extend(mats.iter().map(|a| a.col(j)));
+                let lo = colptr[j] - chunk.base;
+                let hi = colptr[j + 1] - chunk.base;
+                let out_rows = &mut chunk.rows[lo..hi];
+                let out_vals = &mut chunk.vals[lo..hi];
+                let written = match &mut *ws {
+                    Workspace::Hash(ht) => {
+                        ht.reserve_for(hi - lo);
+                        hash_add_column(
+                            &views,
+                            ht,
+                            out_rows,
+                            out_vals,
+                            ctx.sorted_output,
+                            &mut mem,
+                        )
+                    }
+                    Workspace::Sliding { ht, scratch } => sliding_add_column(
+                        &views,
+                        m,
+                        ctx.budget_add,
+                        hi - lo,
+                        ht,
+                        out_rows,
+                        out_vals,
+                        ctx.sorted_output,
+                        ctx.inputs_sorted,
+                        scratch,
+                        &mut mem,
+                    ),
+                    Workspace::Spa(spa) => spa_add_column(
+                        &views,
+                        spa,
+                        out_rows,
+                        out_vals,
+                        ctx.sorted_output,
+                        &mut mem,
+                    ),
+                    Workspace::SlidingSpa { spa, scratch } => sliding_spa_add_column(
+                        &views,
+                        m,
+                        ctx.budget_add,
+                        spa,
+                        out_rows,
+                        out_vals,
+                        ctx.sorted_output,
+                        ctx.inputs_sorted,
+                        scratch,
+                        &mut mem,
+                    ),
+                    Workspace::Heap(heap) => {
+                        heap_add_column(&views, heap, out_rows, out_vals, &mut mem)
+                    }
+                };
+                debug_assert!(written <= hi - lo);
+                debug_assert!(!exact || written == hi - lo);
+                actual_out[slot] = written;
+            }
+        });
+
+    if exact {
+        CscMatrix::from_parts(m, n, colptr, rowidx, values)
+    } else {
+        compact(m, n, &colptr, &actual, rowidx, values)
+    }
+}
+
+/// Thread-private kernel state, sized per the paper's Table I memory rows:
+/// heap O(k), SPA O(m), hash O(max column output), sliding O(budget).
+enum Workspace<T> {
+    Hash(HashAccumulator<T>),
+    Sliding {
+        ht: HashAccumulator<T>,
+        scratch: SlidingScratch<T>,
+    },
+    Spa(Spa<T>),
+    SlidingSpa {
+        spa: Spa<T>,
+        scratch: SlidingScratch<T>,
+    },
+    Heap(KwayHeap<T>),
+}
+
+impl<T: Scalar> Workspace<T> {
+    fn new(kernel: NumericKernel, m: usize, k: usize, budget_rows: usize) -> Self {
+        match kernel {
+            NumericKernel::Hash => Workspace::Hash(HashAccumulator::with_capacity(16)),
+            NumericKernel::SlidingHash => Workspace::Sliding {
+                ht: HashAccumulator::with_capacity(16),
+                scratch: SlidingScratch::new(),
+            },
+            NumericKernel::Spa => Workspace::Spa(Spa::new(m)),
+            // The sliding SPA covers one cache-resident row panel at a
+            // time (the §IV-B(b) extension).
+            NumericKernel::SlidingSpa => Workspace::SlidingSpa {
+                spa: Spa::new(m.min(budget_rows.max(1))),
+                scratch: SlidingScratch::new(),
+            },
+            NumericKernel::Heap => Workspace::Heap(KwayHeap::new(k)),
+        }
+    }
+}
+
+/// Squeezes out the per-column slack left by an upper-bound allocation.
+fn compact<T: Scalar>(
+    m: usize,
+    n: usize,
+    alloc_colptr: &[usize],
+    actual: &[usize],
+    rowidx: Vec<u32>,
+    values: Vec<T>,
+) -> CscMatrix<T> {
+    let colptr = exclusive_prefix_sum(actual);
+    let nnz = *colptr.last().unwrap();
+    let mut new_rows = vec![0u32; nnz];
+    let mut new_vals = vec![T::default(); nnz];
+    for j in 0..n {
+        let src = alloc_colptr[j];
+        let dst = colptr[j];
+        let len = actual[j];
+        new_rows[dst..dst + len].copy_from_slice(&rowidx[src..src + len]);
+        new_vals[dst..dst + len].copy_from_slice(&values[src..src + len]);
+    }
+    CscMatrix::from_parts(m, n, colptr, new_rows, new_vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::Scheduling;
+    use crate::symbolic::{symbolic_counts, SymbolicStrategy};
+    use spk_sparse::DenseMatrix;
+
+    fn ctx() -> DriverCtx {
+        DriverCtx {
+            sched: Scheduling::default(),
+            budget_sym: 1 << 20,
+            budget_add: 1 << 20,
+            inputs_sorted: true,
+            sorted_output: true,
+        }
+    }
+
+    fn inputs() -> Vec<CscMatrix<f64>> {
+        let a = CscMatrix::try_new(
+            8,
+            3,
+            vec![0, 3, 3, 5],
+            vec![1, 3, 6, 0, 4],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap();
+        let b = CscMatrix::try_new(
+            8,
+            3,
+            vec![0, 2, 3, 5],
+            vec![3, 7, 2, 0, 4],
+            vec![10.0, 20.0, 30.0, 40.0, 50.0],
+        )
+        .unwrap();
+        let c = CscMatrix::try_new(8, 3, vec![0, 1, 1, 1], vec![1], vec![100.0]).unwrap();
+        vec![a, b, c]
+    }
+
+    fn oracle(mats: &[&CscMatrix<f64>]) -> DenseMatrix<f64> {
+        let mut acc = DenseMatrix::zeros(mats[0].nrows(), mats[0].ncols());
+        for m in mats {
+            acc.add_assign(&DenseMatrix::from_csc(m)).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn all_kernels_match_dense_oracle() {
+        let ms = inputs();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let c = ctx();
+        let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c);
+        let expect = oracle(&refs);
+        for kernel in [
+            NumericKernel::Hash,
+            NumericKernel::SlidingHash,
+            NumericKernel::Spa,
+            NumericKernel::Heap,
+        ] {
+            let out = kway_numeric(&refs, &counts, true, kernel, &c);
+            assert_eq!(
+                DenseMatrix::from_csc(&out).max_abs_diff(&expect),
+                0.0,
+                "{kernel:?} wrong"
+            );
+            assert!(out.is_sorted(), "{kernel:?} must emit sorted columns");
+            assert_eq!(out.nnz(), counts.iter().sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn upper_bound_path_compacts() {
+        let ms = inputs();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let c = ctx();
+        let upper = symbolic_counts(&refs, SymbolicStrategy::UpperBound, &c);
+        let exact = symbolic_counts(&refs, SymbolicStrategy::Hash, &c);
+        let out = kway_numeric(&refs, &upper, false, NumericKernel::Hash, &c);
+        assert_eq!(out.nnz(), exact.iter().sum::<usize>());
+        assert_eq!(DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)), 0.0);
+    }
+
+    #[test]
+    fn unsorted_output_mode_still_correct() {
+        let ms = inputs();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let mut c = ctx();
+        c.sorted_output = false;
+        let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c);
+        let out = kway_numeric(&refs, &counts, true, NumericKernel::Hash, &c);
+        assert_eq!(DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)), 0.0);
+    }
+
+    #[test]
+    fn sliding_with_tiny_budget_matches() {
+        let ms = inputs();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let mut c = ctx();
+        c.budget_add = 16;
+        c.budget_sym = 16;
+        let counts = symbolic_counts(&refs, SymbolicStrategy::SlidingHash, &c);
+        let out = kway_numeric(&refs, &counts, true, NumericKernel::SlidingHash, &c);
+        assert_eq!(DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)), 0.0);
+        assert!(out.is_sorted());
+    }
+
+    #[test]
+    fn static_scheduling_matches_dynamic() {
+        let ms = inputs();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let mut c = ctx();
+        let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c);
+        let dynamic = kway_numeric(&refs, &counts, true, NumericKernel::Hash, &c);
+        c.sched = Scheduling::Static;
+        let stat = kway_numeric(&refs, &counts, true, NumericKernel::Hash, &c);
+        assert!(dynamic.approx_eq(&stat, 0.0));
+    }
+}

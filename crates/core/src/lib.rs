@@ -1,0 +1,548 @@
+//! # spkadd — parallel algorithms for adding a collection of sparse matrices
+//!
+//! A faithful, production-grade implementation of *"Parallel Algorithms
+//! for Adding a Collection of Sparse Matrices"* (Hussain, Abhishek, Buluç,
+//! Azad — arXiv:2112.10223): the **SpKAdd** operation `B = Σᵢ Aᵢ` over `k`
+//! sparse CSC matrices.
+//!
+//! ## Algorithms
+//!
+//! | [`Algorithm`] | Paper | Work (ER, d/col) | I/O | Sorted inputs? |
+//! |---|---|---|---|---|
+//! | `TwoWayIncremental` | Alg 1 | O(k²nd) | O(k²nd) | yes |
+//! | `TwoWayTree` | §II-B2 | O(knd·lg k) | O(knd·lg k) | yes |
+//! | `LibIncremental`/`LibTree` | "MKL" baselines | — | — | yes |
+//! | `Heap` | Alg 3 | O(knd·lg k) | O(knd) | yes |
+//! | `Spa` | Alg 4 | O(knd) | O(knd) | no |
+//! | `Hash` | Alg 5/6 | O(knd) | O(knd) | no |
+//! | `SlidingHash` | Alg 7/8 | O(knd) | O(knd), in-cache tables | no* |
+//! | `SlidingSpa` | §IV-B(b) extension | O(knd) | O(knd), in-cache panels | no* |
+//!
+//! *The sliding algorithms use binary-search row panels on sorted inputs
+//! and a bucketing pass otherwise.
+//!
+//! Beyond the per-call API there are [`StreamingAccumulator`] (batched
+//! streaming, the paper's future-work mode), [`spkadd_csr`] (row-wise via
+//! zero-copy transpose duality), and [`spkadd_dcsc`] (hypersparse
+//! doubly-compressed operands).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use spk_sparse::CscMatrix;
+//! use spkadd::{spkadd_with, Algorithm, Options};
+//!
+//! let a = CscMatrix::<f64>::identity(4);
+//! let b = CscMatrix::<f64>::identity(4);
+//! let c = CscMatrix::<f64>::identity(4);
+//! let sum = spkadd_with(&[&a, &b, &c], Algorithm::Hash, &Options::default()).unwrap();
+//! assert_eq!(sum.get(2, 2).unwrap(), 3.0);
+//! ```
+
+pub mod dcscadd;
+pub mod error;
+pub mod hashtab;
+pub mod heap;
+pub mod kernels;
+mod kway;
+pub mod libstyle;
+pub mod mem;
+pub mod metered;
+pub mod parallel;
+pub mod rowwise;
+pub mod sliding;
+pub mod spa;
+pub mod streaming;
+pub mod symbolic;
+pub mod tuning;
+pub mod twoway;
+
+pub use dcscadd::spkadd_dcsc;
+pub use error::SpkaddError;
+pub use mem::{CountingModel, MemModel, NullModel};
+pub use parallel::Scheduling;
+pub use rowwise::spkadd_csr;
+pub use streaming::StreamingAccumulator;
+pub use symbolic::SymbolicStrategy;
+pub use tuning::{choose_algorithm, CacheConfig};
+pub use twoway::add_pair;
+
+use kway::NumericKernel;
+use sliding::budget_entries;
+use spk_sparse::{common_shape, CscMatrix, Scalar};
+use symbolic::DriverCtx;
+
+/// The SpKAdd algorithm family (see the crate docs for the complexity
+/// table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Fold the collection with pairwise merges (Algorithm 1).
+    TwoWayIncremental,
+    /// Balanced binary tree of pairwise merges (§II-B2).
+    TwoWayTree,
+    /// Incremental addition through a library-style primitive (stands in
+    /// for the paper's "MKL Incremental" baseline).
+    LibIncremental,
+    /// Tree addition through a library-style primitive ("MKL Tree").
+    LibTree,
+    /// k-way merge with a min-heap (Algorithm 3).
+    Heap,
+    /// k-way addition with a dense sparse accumulator (Algorithm 4).
+    Spa,
+    /// k-way addition with per-column hash tables (Algorithms 5/6) — the
+    /// paper's work- and I/O-optimal winner.
+    Hash,
+    /// Hash with cache-budgeted sliding tables (Algorithms 7/8) — the
+    /// winner once tables outgrow the last-level cache.
+    SlidingHash,
+    /// SPA with a row-partitioned (cache-resident) accumulator — the
+    /// paper's §IV-B(b) suggested extension, implemented here and
+    /// evaluated by the `ablation_slidingspa` harness.
+    SlidingSpa,
+}
+
+impl Algorithm {
+    /// The paper's eight algorithms, in its table order (extensions such
+    /// as [`Algorithm::SlidingSpa`] are not included, so the table
+    /// harnesses reproduce the paper's rows exactly).
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::TwoWayIncremental,
+        Algorithm::LibIncremental,
+        Algorithm::TwoWayTree,
+        Algorithm::LibTree,
+        Algorithm::Heap,
+        Algorithm::Spa,
+        Algorithm::Hash,
+        Algorithm::SlidingHash,
+    ];
+
+    /// Extensions beyond the paper's evaluated set.
+    pub const EXTENSIONS: [Algorithm; 1] = [Algorithm::SlidingSpa];
+
+    /// Short display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::TwoWayIncremental => "2-way Incremental",
+            Algorithm::TwoWayTree => "2-way Tree",
+            Algorithm::LibIncremental => "Lib Incremental",
+            Algorithm::LibTree => "Lib Tree",
+            Algorithm::Heap => "Heap",
+            Algorithm::Spa => "SPA",
+            Algorithm::Hash => "Hash",
+            Algorithm::SlidingHash => "Sliding Hash",
+            Algorithm::SlidingSpa => "Sliding SPA",
+        }
+    }
+
+    /// Whether the algorithm requires sorted, duplicate-free input columns
+    /// (Table I, last column).
+    pub fn needs_sorted_inputs(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::TwoWayIncremental
+                | Algorithm::TwoWayTree
+                | Algorithm::LibIncremental
+                | Algorithm::LibTree
+                | Algorithm::Heap
+        )
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Execution options shared by all algorithms.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Worker threads; 0 uses the ambient rayon pool.
+    pub threads: usize,
+    /// Emit output columns sorted by row index. Turning this off lets the
+    /// hash/SPA algorithms skip the per-column sort — the mode that makes
+    /// the downstream SpGEMM of Fig 6 another ~20% faster.
+    pub sorted_output: bool,
+    /// Column-scheduling policy (§III-A).
+    pub scheduling: Scheduling,
+    /// Symbolic-phase strategy (§II-D).
+    pub symbolic: SymbolicStrategy,
+    /// Machine model for the sliding-hash budgets.
+    pub cache: CacheConfig,
+    /// Overrides the sliding-table budget in entries (the x-axis of
+    /// Fig 4); for [`Algorithm::SlidingSpa`] the same number is the row
+    /// width of one SPA panel (both cost ~12 bytes/entry). `None` derives
+    /// the budget from `cache`.
+    pub forced_table_entries: Option<usize>,
+    /// Check input sortedness up front and fail fast for algorithms that
+    /// require it. Disable only when the caller guarantees sortedness.
+    pub validate_sorted: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            sorted_output: true,
+            scheduling: Scheduling::default(),
+            symbolic: SymbolicStrategy::Hash,
+            cache: CacheConfig::detect(),
+            forced_table_entries: None,
+            validate_sorted: true,
+        }
+    }
+}
+
+impl Options {
+    /// Options with a fixed thread count (builder-style convenience).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Options with unsorted output emission.
+    pub fn unsorted_output(mut self) -> Self {
+        self.sorted_output = false;
+        self
+    }
+}
+
+/// Hash-table entry size in bytes for value type `T` during the numeric
+/// phase: a 4-byte row index plus the value (8 bytes for `f32`, 12 for
+/// `f64` — the paper's `b`).
+pub fn numeric_entry_bytes<T: Scalar>() -> usize {
+    4 + std::mem::size_of::<T>()
+}
+
+/// Symbolic-phase entry size: row index only (the paper's 4 bytes).
+pub const SYMBOLIC_ENTRY_BYTES: usize = 4;
+
+/// Wall-clock split between the two phases of a k-way SpKAdd
+/// (the series of Fig 4). For the 2-way and library algorithms, which
+/// have no symbolic phase, `symbolic` is zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Seconds spent computing per-column output sizes (§II-D).
+    pub symbolic: f64,
+    /// Seconds spent in the numeric addition phase.
+    pub numeric: f64,
+}
+
+impl PhaseTimings {
+    /// Total seconds across both phases.
+    pub fn total(&self) -> f64 {
+        self.symbolic + self.numeric
+    }
+}
+
+/// Adds a collection of sparse matrices with an explicit algorithm choice.
+///
+/// All inputs must share one shape. Algorithms flagged by
+/// [`Algorithm::needs_sorted_inputs`] reject unsorted inputs (unless
+/// `validate_sorted` is off); the hash and SPA families accept anything.
+pub fn spkadd_with<T: Scalar>(
+    mats: &[&CscMatrix<T>],
+    alg: Algorithm,
+    opts: &Options,
+) -> Result<CscMatrix<T>, SpkaddError> {
+    spkadd_with_timings(mats, alg, opts).map(|(out, _)| out)
+}
+
+/// Like [`spkadd_with`], additionally reporting the symbolic/numeric
+/// phase split — the quantity Fig 4 sweeps against the hash-table size.
+pub fn spkadd_with_timings<T: Scalar>(
+    mats: &[&CscMatrix<T>],
+    alg: Algorithm,
+    opts: &Options,
+) -> Result<(CscMatrix<T>, PhaseTimings), SpkaddError> {
+    common_shape(mats)?;
+
+    // Sortedness: detect (or trust) once, up front.
+    let inputs_sorted = if opts.validate_sorted {
+        let mut all_sorted = true;
+        for (i, m) in mats.iter().enumerate() {
+            if !m.is_sorted() {
+                if alg.needs_sorted_inputs() {
+                    return Err(SpkaddError::UnsortedInput {
+                        algorithm: alg.name(),
+                        operand: i,
+                    });
+                }
+                if opts.symbolic == SymbolicStrategy::Heap {
+                    return Err(SpkaddError::UnsortedInput {
+                        algorithm: "heap symbolic",
+                        operand: i,
+                    });
+                }
+                all_sorted = false;
+            }
+        }
+        all_sorted
+    } else {
+        true
+    };
+
+    let threads_effective = if opts.threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        opts.threads
+    };
+    let budget_sym = opts.forced_table_entries.unwrap_or_else(|| {
+        budget_entries(opts.cache.llc_bytes, SYMBOLIC_ENTRY_BYTES, threads_effective)
+    });
+    let budget_add = opts.forced_table_entries.unwrap_or_else(|| {
+        budget_entries(
+            opts.cache.llc_bytes,
+            numeric_entry_bytes::<T>(),
+            threads_effective,
+        )
+    });
+    let ctx = DriverCtx {
+        sched: opts.scheduling,
+        budget_sym,
+        budget_add,
+        inputs_sorted,
+        sorted_output: opts.sorted_output,
+    };
+
+    let sched = opts.scheduling;
+    parallel::run_with_threads(opts.threads, move || {
+        let t0 = std::time::Instant::now();
+        match alg {
+            Algorithm::TwoWayIncremental => Ok((
+                twoway::spkadd_incremental(mats, 0, sched),
+                PhaseTimings {
+                    symbolic: 0.0,
+                    numeric: t0.elapsed().as_secs_f64(),
+                },
+            )),
+            Algorithm::TwoWayTree => Ok((
+                twoway::spkadd_tree(mats, 0, sched),
+                PhaseTimings {
+                    symbolic: 0.0,
+                    numeric: t0.elapsed().as_secs_f64(),
+                },
+            )),
+            Algorithm::LibIncremental => Ok((
+                libstyle::lib_incremental(mats),
+                PhaseTimings {
+                    symbolic: 0.0,
+                    numeric: t0.elapsed().as_secs_f64(),
+                },
+            )),
+            Algorithm::LibTree => Ok((
+                libstyle::lib_tree(mats),
+                PhaseTimings {
+                    symbolic: 0.0,
+                    numeric: t0.elapsed().as_secs_f64(),
+                },
+            )),
+            Algorithm::Heap
+        | Algorithm::Spa
+        | Algorithm::Hash
+        | Algorithm::SlidingHash
+        | Algorithm::SlidingSpa => {
+                // Alg 8 line 2: the sliding algorithm's symbolic phase
+                // slides too, unless the caller explicitly picked another
+                // strategy.
+                let strategy =
+                    if alg == Algorithm::SlidingHash && opts.symbolic == SymbolicStrategy::Hash {
+                        SymbolicStrategy::SlidingHash
+                    } else {
+                        opts.symbolic
+                    };
+                let counts = symbolic::symbolic_counts(mats, strategy, &ctx);
+                let symbolic_secs = t0.elapsed().as_secs_f64();
+                let exact = strategy != SymbolicStrategy::UpperBound;
+                let kernel = match alg {
+                    Algorithm::Heap => NumericKernel::Heap,
+                    Algorithm::Spa => NumericKernel::Spa,
+                    Algorithm::Hash => NumericKernel::Hash,
+                    Algorithm::SlidingHash => NumericKernel::SlidingHash,
+                    Algorithm::SlidingSpa => NumericKernel::SlidingSpa,
+                    _ => unreachable!(),
+                };
+                let t1 = std::time::Instant::now();
+                let out = kway::kway_numeric(mats, &counts, exact, kernel, &ctx);
+                Ok((
+                    out,
+                    PhaseTimings {
+                        symbolic: symbolic_secs,
+                        numeric: t1.elapsed().as_secs_f64(),
+                    },
+                ))
+            }
+        }
+    })
+}
+
+/// Adds a collection of sparse matrices, picking the algorithm with the
+/// Fig 2 decision surface ([`choose_algorithm`]).
+pub fn spkadd_auto<T: Scalar>(
+    mats: &[&CscMatrix<T>],
+    opts: &Options,
+) -> Result<CscMatrix<T>, SpkaddError> {
+    let (_, n) = common_shape(mats)?;
+    let total: usize = mats.iter().map(|m| m.nnz()).sum();
+    let avg_out = if n == 0 { 0 } else { total / n.max(1) };
+    let threads = if opts.threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        opts.threads
+    };
+    let mut alg = choose_algorithm(
+        mats.len(),
+        avg_out,
+        numeric_entry_bytes::<T>(),
+        threads,
+        &opts.cache,
+    );
+    if alg.needs_sorted_inputs() && mats.iter().any(|m| !m.is_sorted()) {
+        alg = Algorithm::Hash;
+    }
+    spkadd_with(mats, alg, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spk_sparse::DenseMatrix;
+
+    fn dense_sum(mats: &[&CscMatrix<f64>]) -> DenseMatrix<f64> {
+        let mut acc = DenseMatrix::zeros(mats[0].nrows(), mats[0].ncols());
+        for m in mats {
+            acc.add_assign(&DenseMatrix::from_csc(m)).unwrap();
+        }
+        acc
+    }
+
+    fn collection() -> Vec<CscMatrix<f64>> {
+        // Deterministic small collection with overlaps and empties.
+        let a = CscMatrix::try_new(
+            6,
+            4,
+            vec![0, 2, 2, 4, 5],
+            vec![0, 3, 1, 4, 5],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap();
+        let b = CscMatrix::try_new(
+            6,
+            4,
+            vec![0, 1, 3, 3, 5],
+            vec![3, 0, 1, 0, 5],
+            vec![10.0, 20.0, 30.0, 40.0, 50.0],
+        )
+        .unwrap();
+        let c = CscMatrix::try_new(6, 4, vec![0, 0, 0, 1, 1], vec![4], vec![100.0]).unwrap();
+        vec![a, b, c]
+    }
+
+    #[test]
+    fn every_algorithm_matches_the_oracle() {
+        let ms = collection();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let expect = dense_sum(&refs);
+        let opts = Options::default();
+        for alg in Algorithm::ALL {
+            let out = spkadd_with(&refs, alg, &opts).unwrap();
+            assert_eq!(
+                DenseMatrix::from_csc(&out).max_abs_diff(&expect),
+                0.0,
+                "{alg} wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_requirement_enforced() {
+        let mut ms = collection();
+        // Scramble one column of the first matrix.
+        let (m, n, colptr, mut rows, vals) = ms.remove(0).into_parts();
+        rows.swap(0, 1);
+        let unsorted = CscMatrix::try_new(m, n, colptr, rows, vals).unwrap();
+        assert!(!unsorted.is_sorted());
+        let mut all: Vec<&CscMatrix<f64>> = vec![&unsorted];
+        all.extend(ms.iter());
+        let opts = Options::default();
+        for alg in [
+            Algorithm::Heap,
+            Algorithm::TwoWayTree,
+            Algorithm::TwoWayIncremental,
+        ] {
+            assert!(matches!(
+                spkadd_with(&all, alg, &opts),
+                Err(SpkaddError::UnsortedInput { operand: 0, .. })
+            ));
+        }
+        // Hash and SPA accept the same input.
+        let expect = dense_sum(&all);
+        for alg in [Algorithm::Hash, Algorithm::SlidingHash, Algorithm::Spa] {
+            let out = spkadd_with(&all, alg, &opts).unwrap();
+            assert_eq!(DenseMatrix::from_csc(&out).max_abs_diff(&expect), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_collection_rejected() {
+        let refs: Vec<&CscMatrix<f64>> = vec![];
+        assert!(spkadd_with(&refs, Algorithm::Hash, &Options::default()).is_err());
+    }
+
+    #[test]
+    fn singleton_collection_is_identityish() {
+        let ms = collection();
+        let refs = vec![&ms[0]];
+        let out = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+        assert!(out.approx_eq(&ms[0], 0.0));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = CscMatrix::<f64>::zeros(3, 3);
+        let b = CscMatrix::<f64>::zeros(3, 4);
+        assert!(spkadd_with(&[&a, &b], Algorithm::Hash, &Options::default()).is_err());
+    }
+
+    #[test]
+    fn unsorted_output_mode() {
+        let ms = collection();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let out =
+            spkadd_with(&refs, Algorithm::Hash, &Options::default().unsorted_output()).unwrap();
+        assert_eq!(
+            DenseMatrix::from_csc(&out).max_abs_diff(&dense_sum(&refs)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn auto_picks_something_correct() {
+        let ms = collection();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let out = spkadd_auto(&refs, &Options::default()).unwrap();
+        assert_eq!(
+            DenseMatrix::from_csc(&out).max_abs_diff(&dense_sum(&refs)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn explicit_thread_count_works() {
+        let ms = collection();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let out =
+            spkadd_with(&refs, Algorithm::Hash, &Options::default().with_threads(2)).unwrap();
+        assert_eq!(
+            DenseMatrix::from_csc(&out).max_abs_diff(&dense_sum(&refs)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn entry_bytes_match_the_paper() {
+        assert_eq!(numeric_entry_bytes::<f32>(), 8);
+        assert_eq!(numeric_entry_bytes::<f64>(), 12);
+        assert_eq!(SYMBOLIC_ENTRY_BYTES, 4);
+    }
+}

@@ -1,0 +1,260 @@
+//! Column partitioning and parallel-driver plumbing (§III-A of the paper).
+//!
+//! All SpKAdd algorithms parallelize the same way: columns of the output
+//! are independent, so column *ranges* are distributed over threads with no
+//! synchronization. What distinguishes a good driver is load balance: for
+//! skewed (RMAT-like) inputs, equal column counts per thread are terrible
+//! because a few columns carry most of the nonzeros. The paper balances by
+//! total input nonzeros per column in the symbolic phase, and by output
+//! nonzeros per column in the numeric phase; [`weighted_ranges`] implements
+//! that policy, and [`Scheduling`] selects between it and the naive static
+//! split (kept for the ablation study).
+
+use std::ops::Range;
+
+/// How columns are assigned to parallel tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Equal *column counts* per task, one task per thread. This is the
+    /// baseline the paper's §III-A warns about for skewed matrices.
+    Static,
+    /// Weight-balanced ranges, `chunks_per_thread` tasks per thread,
+    /// executed under rayon work stealing — the paper's dynamic policy.
+    Dynamic {
+        /// Over-decomposition factor (tasks per thread). 8 is a good
+        /// default: fine enough to steal, coarse enough to amortize
+        /// workspace setup.
+        chunks_per_thread: usize,
+    },
+}
+
+impl Default for Scheduling {
+    fn default() -> Self {
+        Scheduling::Dynamic {
+            chunks_per_thread: 8,
+        }
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges of near-equal size.
+pub fn equal_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    if n == 0 {
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..0];
+    }
+    (0..parts)
+        .map(|p| (p * n / parts)..((p + 1) * n / parts))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Splits `0..weights.len()` into at most `parts` contiguous ranges whose
+/// weight sums are approximately equal (greedy prefix cut at the running
+/// target). Zero-weight prefixes/suffixes fold into neighbouring ranges.
+pub fn weighted_ranges(weights: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..0];
+    }
+    let parts = parts.max(1).min(n);
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    if total == 0 {
+        return equal_ranges(n, parts);
+    }
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut cut = 1u64;
+    for (j, &w) in weights.iter().enumerate() {
+        acc += w as u64;
+        // Cut when the running sum crosses the next 1/parts quantile.
+        while cut < parts as u64 && acc * parts as u64 >= cut * total {
+            // Close the current range after column j unless it would be
+            // empty (several quantiles inside one heavy column).
+            if j + 1 > start {
+                out.push(start..j + 1);
+                start = j + 1;
+            }
+            cut += 1;
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    } else if out.is_empty() {
+        out.push(0..n);
+    }
+    debug_assert_eq!(out.first().unwrap().start, 0);
+    debug_assert_eq!(out.last().unwrap().end, n);
+    debug_assert!(out.windows(2).all(|w| w[0].end == w[1].start));
+    out
+}
+
+/// Produces the task ranges for a phase given its per-column weights.
+pub fn plan_ranges(weights: &[usize], threads: usize, sched: Scheduling) -> Vec<Range<usize>> {
+    let threads = if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    };
+    match sched {
+        Scheduling::Static => equal_ranges(weights.len(), threads),
+        Scheduling::Dynamic { chunks_per_thread } => {
+            weighted_ranges(weights, threads * chunks_per_thread.max(1))
+        }
+    }
+}
+
+/// Exclusive prefix sum: turns per-column counts into a CSC column-pointer
+/// array of length `counts.len() + 1`.
+pub fn exclusive_prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    out.push(0);
+    for &c in counts {
+        acc += c;
+        out.push(acc);
+    }
+    out
+}
+
+/// A task's mutable window into the output arrays: the columns `cols`,
+/// whose entries live at `colptr[j] - base` within `rows`/`vals`.
+pub struct OutChunk<'a, T> {
+    /// Column range owned by this task.
+    pub cols: Range<usize>,
+    /// Global entry offset of `cols.start` (i.e. `colptr[cols.start]`).
+    pub base: usize,
+    /// This task's slice of the output row-index array.
+    pub rows: &'a mut [u32],
+    /// This task's slice of the output value array.
+    pub vals: &'a mut [T],
+}
+
+/// Splits the output arrays into per-task disjoint windows. The windows
+/// are handed to rayon tasks; because they never overlap, the numeric
+/// phase writes the shared output with no synchronization — the paper's
+/// "no thread synchronization" property.
+pub fn split_output<'a, T>(
+    colptr: &[usize],
+    ranges: &[Range<usize>],
+    mut rows: &'a mut [u32],
+    mut vals: &'a mut [T],
+) -> Vec<OutChunk<'a, T>> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut consumed = 0usize;
+    for r in ranges {
+        let base = colptr[r.start];
+        let end = colptr[r.end];
+        debug_assert_eq!(base, consumed, "ranges must tile the columns in order");
+        let take = end - base;
+        let (rh, rt) = rows.split_at_mut(take);
+        let (vh, vt) = vals.split_at_mut(take);
+        rows = rt;
+        vals = vt;
+        consumed = end;
+        out.push(OutChunk {
+            cols: r.clone(),
+            base,
+            rows: rh,
+            vals: vh,
+        });
+    }
+    out
+}
+
+/// Runs `f` on a dedicated rayon pool of `threads` threads (0 = the global
+/// pool). Benchmarks use this for strong-scaling sweeps.
+pub fn run_with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    if threads == 0 {
+        f()
+    } else {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build rayon pool")
+            .install(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_ranges_tile() {
+        let r = equal_ranges(10, 3);
+        assert_eq!(r.first().unwrap().start, 0);
+        assert_eq!(r.last().unwrap().end, 10);
+        assert!(r.windows(2).all(|w| w[0].end == w[1].start));
+        assert_eq!(equal_ranges(0, 4), vec![0..0]);
+        assert_eq!(equal_ranges(2, 8).len(), 2, "never more parts than items");
+    }
+
+    #[test]
+    fn weighted_ranges_balance_skew() {
+        // One heavy column at the front.
+        let mut w = vec![1usize; 100];
+        w[0] = 1000;
+        let r = weighted_ranges(&w, 4);
+        assert_eq!(r.first().unwrap().start, 0);
+        assert_eq!(r.last().unwrap().end, 100);
+        assert!(r.windows(2).all(|a| a[0].end == a[1].start));
+        // The heavy column must sit alone (or nearly) in its range.
+        assert!(r[0].len() <= 2, "heavy head not isolated: {:?}", r);
+    }
+
+    #[test]
+    fn weighted_ranges_uniform_close_to_equal() {
+        let w = vec![5usize; 64];
+        let r = weighted_ranges(&w, 8);
+        assert_eq!(r.len(), 8);
+        for range in &r {
+            assert_eq!(range.len(), 8);
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_zero_weights() {
+        let w = vec![0usize; 10];
+        let r = weighted_ranges(&w, 3);
+        assert_eq!(r.last().unwrap().end, 10);
+    }
+
+    #[test]
+    fn prefix_sum_builds_colptr() {
+        assert_eq!(exclusive_prefix_sum(&[2, 0, 3]), vec![0, 2, 2, 5]);
+        assert_eq!(exclusive_prefix_sum(&[]), vec![0]);
+    }
+
+    #[test]
+    fn split_output_windows_are_disjoint_and_complete() {
+        let colptr = vec![0usize, 2, 2, 5, 6];
+        let ranges = vec![0..2, 2..4];
+        let mut rows = vec![0u32; 6];
+        let mut vals = vec![0.0f64; 6];
+        let chunks = split_output(&colptr, &ranges, &mut rows, &mut vals);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].base, 0);
+        assert_eq!(chunks[0].rows.len(), 2);
+        assert_eq!(chunks[1].base, 2);
+        assert_eq!(chunks[1].rows.len(), 4);
+    }
+
+    #[test]
+    fn run_with_threads_executes() {
+        let x = run_with_threads(2, rayon::current_num_threads);
+        assert_eq!(x, 2);
+        let y = run_with_threads(0, || 42);
+        assert_eq!(y, 42);
+    }
+
+    #[test]
+    fn scheduling_default_is_dynamic() {
+        match Scheduling::default() {
+            Scheduling::Dynamic { chunks_per_thread } => assert_eq!(chunks_per_thread, 8),
+            _ => panic!("default must be dynamic"),
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The sliding hash algorithm (Algorithms 7 and 8 of the paper).
+//!
+//! Plain hash SpKAdd goes out of cache when the per-thread tables exceed
+//! the shared last-level cache: with `T` threads and `b` bytes per entry,
+//! a column whose table needs more than `M / (b·T)` entries starts missing
+//! in LLC on every random probe. The sliding scheme splits the row space
+//! `[0, m)` into `parts = ⌈needed·b·T / M⌉` equal ranges and runs the plain
+//! hash kernel once per range, so each table stays cache-resident and the
+//! output is produced range by range ("sliding" down the column).
+//!
+//! Row panels are located by binary search when the input columns are
+//! sorted (the paper's method). For unsorted inputs — which plain hash
+//! accepts and sliding hash should too — a single bucketing pass scatters
+//! entries into per-part scratch buffers instead, preserving the O(nnz)
+//! per-column cost.
+
+use crate::hashtab::{HashAccumulator, SymbolicHashTable};
+use crate::kernels::{hash_add_column, hash_symbolic_column};
+use crate::mem::MemModel;
+use spk_sparse::{ColView, Scalar};
+
+/// Per-thread hash-table budget in *entries*, derived from the machine
+/// model (Alg 7/8 line 3 rearranged): `M / (b·T)`.
+#[inline]
+pub fn budget_entries(llc_bytes: usize, entry_bytes: usize, threads: usize) -> usize {
+    (llc_bytes / (entry_bytes.max(1) * threads.max(1))).max(16)
+}
+
+/// Number of row panels needed so each panel's table fits the budget
+/// (Alg 7 line 3 with the budget substituted): `⌈needed / budget⌉`.
+#[inline]
+pub fn num_parts(needed_entries: usize, budget: usize) -> usize {
+    needed_entries.div_ceil(budget.max(1)).max(1)
+}
+
+/// Reusable scratch for the unsorted bucketing path.
+#[derive(Debug, Default)]
+pub struct SlidingScratch<T> {
+    rows: Vec<Vec<u32>>,
+    vals: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> SlidingScratch<T> {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self {
+            rows: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    fn prepare(&mut self, parts: usize) {
+        while self.rows.len() < parts {
+            self.rows.push(Vec::new());
+            self.vals.push(Vec::new());
+        }
+        for p in 0..parts {
+            self.rows[p].clear();
+            self.vals[p].clear();
+        }
+    }
+
+    /// Clears and sizes the scratch for `parts` buckets (for kernels
+    /// outside this module, e.g. the sliding SPA).
+    pub fn prepare_parts(&mut self, parts: usize) {
+        self.prepare(parts);
+    }
+
+    /// Appends one entry to bucket `p`.
+    #[inline]
+    pub fn push(&mut self, p: usize, r: u32, v: T) {
+        self.rows[p].push(r);
+        self.vals[p].push(v);
+    }
+
+    /// Borrow bucket `p` as parallel slices.
+    pub fn part(&self, p: usize) -> (&[u32], &[T]) {
+        (&self.rows[p], &self.vals[p])
+    }
+}
+
+/// Panel boundary for part `i` of `parts` over `m` rows (Alg 7 line 9).
+#[inline]
+fn panel_bound(i: usize, parts: usize, m: usize) -> u32 {
+    ((i as u64 * m as u64) / parts as u64) as u32
+}
+
+/// Sliding-hash symbolic phase for one column (Algorithm 7): counts
+/// `nnz(B(:,j))` using tables of at most `budget` entries.
+///
+/// `inputs_sorted` selects binary-search panelling (paper) vs bucketing.
+#[allow(clippy::too_many_arguments)]
+pub fn sliding_symbolic_column<T: Scalar, M: MemModel>(
+    cols: &[ColView<'_, T>],
+    m: usize,
+    budget: usize,
+    ht: &mut SymbolicHashTable,
+    inputs_sorted: bool,
+    scratch: &mut SlidingScratch<T>,
+    mem: &mut M,
+) -> usize {
+    let inz: usize = cols.iter().map(|c| c.nnz()).sum();
+    let parts = num_parts(inz, budget);
+    if parts == 1 {
+        ht.reserve_for(inz);
+        return hash_symbolic_column(cols, ht, mem);
+    }
+    let mut nz = 0usize;
+    if inputs_sorted {
+        let mut sub: Vec<ColView<'_, T>> = Vec::with_capacity(cols.len());
+        for i in 0..parts {
+            let r1 = panel_bound(i, parts, m);
+            let r2 = panel_bound(i + 1, parts, m);
+            sub.clear();
+            sub.extend(cols.iter().map(|c| c.row_range(r1, r2)));
+            let panel_inz: usize = sub.iter().map(|c| c.nnz()).sum();
+            // The paper's budget semantics: allocate at most `budget`
+            // entries; a panel with more distinct rows grows on demand.
+            ht.reserve_for(panel_inz.min(budget));
+            nz += hash_symbolic_column(&sub, ht, mem);
+        }
+    } else {
+        scratch.prepare(parts);
+        let bounds: Vec<u32> = (0..=parts).map(|i| panel_bound(i, parts, m)).collect();
+        for col in cols {
+            for (r, v) in col.iter() {
+                let p = bounds.partition_point(|&b| b <= r) - 1;
+                scratch.rows[p].push(r);
+                scratch.vals[p].push(v);
+            }
+        }
+        for p in 0..parts {
+            let view = [ColView {
+                rows: &scratch.rows[p],
+                vals: &scratch.vals[p],
+            }];
+            ht.reserve_for(scratch.rows[p].len().min(budget));
+            nz += hash_symbolic_column(&view, ht, mem);
+        }
+    }
+    nz
+}
+
+/// Sliding-hash addition for one column (Algorithm 8): fills the output
+/// slices panel by panel using tables of at most `budget` entries.
+/// `onz` is the column's output size from the symbolic phase. Returns the
+/// entries written.
+///
+/// Panels cover ascending row ranges, so when `sorted` is requested each
+/// panel is emitted sorted and the concatenation is globally sorted.
+#[allow(clippy::too_many_arguments)]
+pub fn sliding_add_column<T: Scalar, M: MemModel>(
+    cols: &[ColView<'_, T>],
+    m: usize,
+    budget: usize,
+    onz: usize,
+    ht: &mut HashAccumulator<T>,
+    out_rows: &mut [u32],
+    out_vals: &mut [T],
+    sorted: bool,
+    inputs_sorted: bool,
+    scratch: &mut SlidingScratch<T>,
+    mem: &mut M,
+) -> usize {
+    let parts = num_parts(onz, budget);
+    if parts == 1 {
+        ht.reserve_for(onz);
+        return hash_add_column(cols, ht, out_rows, out_vals, sorted, mem);
+    }
+    let mut written = 0usize;
+    if inputs_sorted {
+        let mut sub: Vec<ColView<'_, T>> = Vec::with_capacity(cols.len());
+        for i in 0..parts {
+            let r1 = panel_bound(i, parts, m);
+            let r2 = panel_bound(i + 1, parts, m);
+            sub.clear();
+            sub.extend(cols.iter().map(|c| c.row_range(r1, r2)));
+            let panel_inz: usize = sub.iter().map(|c| c.nnz()).sum();
+            ht.reserve_for(panel_inz.min(budget));
+            written += hash_add_column(
+                &sub,
+                ht,
+                &mut out_rows[written..],
+                &mut out_vals[written..],
+                sorted,
+                mem,
+            );
+        }
+    } else {
+        scratch.prepare(parts);
+        let bounds: Vec<u32> = (0..=parts).map(|i| panel_bound(i, parts, m)).collect();
+        for col in cols {
+            for (r, v) in col.iter() {
+                let p = bounds.partition_point(|&b| b <= r) - 1;
+                scratch.rows[p].push(r);
+                scratch.vals[p].push(v);
+            }
+        }
+        for p in 0..parts {
+            let view = [ColView {
+                rows: &scratch.rows[p],
+                vals: &scratch.vals[p],
+            }];
+            ht.reserve_for(scratch.rows[p].len().min(budget));
+            written += hash_add_column(
+                &view,
+                ht,
+                &mut out_rows[written..],
+                &mut out_vals[written..],
+                sorted,
+                mem,
+            );
+        }
+    }
+    debug_assert_eq!(written, onz);
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::NullModel;
+
+    fn mk_cols() -> (Vec<u32>, Vec<f64>, Vec<u32>, Vec<f64>) {
+        // Two columns over m = 64 rows with overlap in every panel.
+        let r1: Vec<u32> = (0..64).step_by(2).collect(); // evens
+        let v1 = vec![1.0f64; r1.len()];
+        let r2: Vec<u32> = (0..64).step_by(3).collect(); // multiples of 3
+        let v2 = vec![2.0f64; r2.len()];
+        (r1, v1, r2, v2)
+    }
+
+    #[test]
+    fn budget_and_parts_arithmetic() {
+        // 32 MB LLC, 8-byte entries, 48 threads → ~87k entries (Fig 2's
+        // example: 128·512 = 65 536 output entries fits; ×12 bytes spills).
+        let b = budget_entries(32 << 20, 8, 48);
+        assert_eq!(b, (32 << 20) / (8 * 48));
+        assert_eq!(num_parts(100, 100), 1);
+        assert_eq!(num_parts(101, 100), 2);
+        assert_eq!(num_parts(0, 100), 1);
+        assert!(budget_entries(0, 8, 4) >= 16, "floor keeps tables usable");
+    }
+
+    #[test]
+    fn sliding_matches_plain_hash_sorted_path() {
+        let (r1, v1, r2, v2) = mk_cols();
+        let cols = vec![
+            ColView {
+                rows: &r1,
+                vals: &v1,
+            },
+            ColView {
+                rows: &r2,
+                vals: &v2,
+            },
+        ];
+        let mut mem = NullModel;
+        // Plain hash reference.
+        let mut ht = HashAccumulator::<f64>::with_capacity(64);
+        let mut ref_rows = vec![0u32; 64];
+        let mut ref_vals = vec![0.0f64; 64];
+        let n_ref = hash_add_column(&cols, &mut ht, &mut ref_rows, &mut ref_vals, true, &mut mem);
+
+        // Sliding with a tiny budget forces many panels.
+        let mut sht = SymbolicHashTable::with_capacity(4);
+        let mut scratch = SlidingScratch::new();
+        let onz =
+            sliding_symbolic_column(&cols, 64, 8, &mut sht, true, &mut scratch, &mut mem);
+        assert_eq!(onz, n_ref);
+        let mut ht2 = HashAccumulator::<f64>::with_capacity(4);
+        let mut rows = vec![0u32; onz];
+        let mut vals = vec![0.0f64; onz];
+        let n = sliding_add_column(
+            &cols, 64, 8, onz, &mut ht2, &mut rows, &mut vals, true, true, &mut scratch, &mut mem,
+        );
+        assert_eq!(n, n_ref);
+        assert_eq!(&rows[..], &ref_rows[..n_ref]);
+        assert_eq!(&vals[..], &ref_vals[..n_ref]);
+    }
+
+    #[test]
+    fn sliding_bucket_path_matches_sorted_path() {
+        let (r1, v1, r2, v2) = mk_cols();
+        // Shuffle the first column to make it unsorted.
+        let mut ru: Vec<u32> = r1.clone();
+        ru.reverse();
+        let mut vu = v1.clone();
+        vu.reverse();
+        let sorted_cols = vec![
+            ColView {
+                rows: &r1,
+                vals: &v1,
+            },
+            ColView {
+                rows: &r2,
+                vals: &v2,
+            },
+        ];
+        let unsorted_cols = vec![
+            ColView {
+                rows: &ru,
+                vals: &vu,
+            },
+            ColView {
+                rows: &r2,
+                vals: &v2,
+            },
+        ];
+        let mut mem = NullModel;
+        let mut scratch = SlidingScratch::new();
+        let mut sht = SymbolicHashTable::with_capacity(4);
+        let onz_sorted =
+            sliding_symbolic_column(&sorted_cols, 64, 8, &mut sht, true, &mut scratch, &mut mem);
+        let onz_unsorted = sliding_symbolic_column(
+            &unsorted_cols,
+            64,
+            8,
+            &mut sht,
+            false,
+            &mut scratch,
+            &mut mem,
+        );
+        assert_eq!(onz_sorted, onz_unsorted);
+
+        let mut ht = HashAccumulator::<f64>::with_capacity(4);
+        let mut rows_a = vec![0u32; onz_sorted];
+        let mut vals_a = vec![0.0f64; onz_sorted];
+        sliding_add_column(
+            &sorted_cols,
+            64,
+            8,
+            onz_sorted,
+            &mut ht,
+            &mut rows_a,
+            &mut vals_a,
+            true,
+            true,
+            &mut scratch,
+            &mut mem,
+        );
+        let mut rows_b = vec![0u32; onz_unsorted];
+        let mut vals_b = vec![0.0f64; onz_unsorted];
+        sliding_add_column(
+            &unsorted_cols,
+            64,
+            8,
+            onz_unsorted,
+            &mut ht,
+            &mut rows_b,
+            &mut vals_b,
+            true,
+            false,
+            &mut scratch,
+            &mut mem,
+        );
+        assert_eq!(rows_a, rows_b);
+        assert_eq!(vals_a, vals_b);
+    }
+
+    #[test]
+    fn single_part_falls_back_to_plain_hash() {
+        let (r1, v1, ..) = mk_cols();
+        let cols = vec![ColView {
+            rows: &r1,
+            vals: &v1,
+        }];
+        let mut sht = SymbolicHashTable::with_capacity(4);
+        let mut scratch = SlidingScratch::new();
+        let onz = sliding_symbolic_column(
+            &cols,
+            64,
+            1 << 20,
+            &mut sht,
+            true,
+            &mut scratch,
+            &mut NullModel,
+        );
+        assert_eq!(onz, r1.len());
+    }
+
+    #[test]
+    fn panel_bounds_tile_row_space() {
+        let parts = 7;
+        let m = 100;
+        assert_eq!(panel_bound(0, parts, m), 0);
+        assert_eq!(panel_bound(parts, parts, m), 100);
+        for i in 0..parts {
+            assert!(panel_bound(i, parts, m) <= panel_bound(i + 1, parts, m));
+        }
+    }
+}

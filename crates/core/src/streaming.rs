@@ -1,0 +1,201 @@
+//! Streaming (batched) SpKAdd — the paper's closing future-work note made
+//! concrete: "when [all matrices do not fit in memory] we can still
+//! arrange input matrices in multiple batches and then use SpKAdd for
+//! each batch".
+//!
+//! [`StreamingAccumulator`] holds at most `batch_size` pending matrices.
+//! When the batch fills (or [`StreamingAccumulator::flush`] is called),
+//! the batch is reduced with a k-way SpKAdd and folded into the running
+//! total with one 2-way merge. Peak memory is therefore
+//! O(batch · max nnz + nnz(total)) instead of O(Σ nnz), at the cost of
+//! one extra 2-way pass per batch.
+
+use crate::parallel::Scheduling;
+use crate::twoway::add_pair;
+use crate::{spkadd_with, Algorithm, Options, SpkaddError};
+use spk_sparse::{CscMatrix, Scalar, SparseError};
+
+/// Incrementally accumulates a stream of same-shape sparse matrices.
+#[derive(Debug)]
+pub struct StreamingAccumulator<T: Scalar> {
+    shape: (usize, usize),
+    batch_size: usize,
+    algorithm: Algorithm,
+    opts: Options,
+    pending: Vec<CscMatrix<T>>,
+    total: Option<CscMatrix<T>>,
+    batches_flushed: usize,
+    matrices_seen: usize,
+}
+
+impl<T: Scalar> StreamingAccumulator<T> {
+    /// A new accumulator for `nrows × ncols` matrices, reducing every
+    /// `batch_size` arrivals with `algorithm`.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        batch_size: usize,
+        algorithm: Algorithm,
+        opts: Options,
+    ) -> Self {
+        Self {
+            shape: (nrows, ncols),
+            batch_size: batch_size.max(1),
+            algorithm,
+            opts,
+            pending: Vec::new(),
+            total: None,
+            batches_flushed: 0,
+            matrices_seen: 0,
+        }
+    }
+
+    /// Convenience constructor: hash SpKAdd with default options.
+    pub fn with_defaults(nrows: usize, ncols: usize, batch_size: usize) -> Self {
+        Self::new(nrows, ncols, batch_size, Algorithm::Hash, Options::default())
+    }
+
+    /// Number of matrices accepted so far.
+    pub fn matrices_seen(&self) -> usize {
+        self.matrices_seen
+    }
+
+    /// Number of batch reductions performed so far.
+    pub fn batches_flushed(&self) -> usize {
+        self.batches_flushed
+    }
+
+    /// Matrices buffered but not yet reduced.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Accepts one matrix; reduces the batch when it reaches capacity.
+    pub fn push(&mut self, m: CscMatrix<T>) -> Result<(), SpkaddError> {
+        if m.shape() != self.shape {
+            return Err(SpkaddError::Sparse(SparseError::DimensionMismatch {
+                expected: self.shape,
+                found: m.shape(),
+                operand: self.matrices_seen,
+            }));
+        }
+        self.pending.push(m);
+        self.matrices_seen += 1;
+        if self.pending.len() >= self.batch_size {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Reduces the pending batch into the running total now.
+    pub fn flush(&mut self) -> Result<(), SpkaddError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let refs: Vec<&CscMatrix<T>> = self.pending.iter().collect();
+        let batch_sum = spkadd_with(&refs, self.algorithm, &self.opts)?;
+        self.pending.clear();
+        self.batches_flushed += 1;
+        self.total = Some(match self.total.take() {
+            None => batch_sum,
+            Some(acc) => {
+                // The running total and the batch sum are both sorted
+                // canonical outputs, so the streaming merge is one linear
+                // 2-way pass.
+                add_pair(&acc, &batch_sum, self.opts.threads, Scheduling::default())
+            }
+        });
+        Ok(())
+    }
+
+    /// A read-only view of the running total (pending matrices excluded).
+    pub fn current(&self) -> Option<&CscMatrix<T>> {
+        self.total.as_ref()
+    }
+
+    /// Flushes any pending batch and returns the final sum. An empty
+    /// stream yields the all-zero matrix of the configured shape.
+    pub fn finish(mut self) -> Result<CscMatrix<T>, SpkaddError> {
+        self.flush()?;
+        Ok(self
+            .total
+            .unwrap_or_else(|| CscMatrix::zeros(self.shape.0, self.shape.1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spk_sparse::DenseMatrix;
+
+    fn shifted_diag(n: usize, s: u32) -> CscMatrix<f64> {
+        let colptr = (0..=n).collect();
+        let rows = (0..n as u32).map(|j| (j + s) % n as u32).collect();
+        CscMatrix::try_new(n, n, colptr, rows, vec![1.0; n]).unwrap()
+    }
+
+    #[test]
+    fn streamed_equals_one_shot() {
+        let mats: Vec<CscMatrix<f64>> = (0..23).map(|i| shifted_diag(16, i % 5)).collect();
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let oneshot = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+
+        let mut acc = StreamingAccumulator::with_defaults(16, 16, 4);
+        for m in &mats {
+            acc.push(m.clone()).unwrap();
+        }
+        assert_eq!(acc.matrices_seen(), 23);
+        assert_eq!(acc.batches_flushed(), 5, "23 pushes = 5 full batches");
+        assert_eq!(acc.pending(), 3);
+        let streamed = acc.finish().unwrap();
+        assert!(streamed.approx_eq(&oneshot, 1e-12));
+    }
+
+    #[test]
+    fn peak_pending_is_bounded() {
+        let mut acc = StreamingAccumulator::with_defaults(8, 8, 3);
+        for i in 0..10 {
+            acc.push(shifted_diag(8, i)).unwrap();
+            assert!(acc.pending() < 3, "batch must flush at capacity");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        let mut acc = StreamingAccumulator::<f64>::with_defaults(8, 8, 4);
+        assert!(acc.push(CscMatrix::zeros(9, 8)).is_err());
+        assert!(acc.push(CscMatrix::zeros(8, 8)).is_ok());
+    }
+
+    #[test]
+    fn empty_stream_yields_zero_matrix() {
+        let acc = StreamingAccumulator::<f64>::with_defaults(5, 7, 4);
+        let out = acc.finish().unwrap();
+        assert_eq!(out.shape(), (5, 7));
+        assert_eq!(out.nnz(), 0);
+    }
+
+    #[test]
+    fn current_reflects_flushed_prefix() {
+        let mut acc = StreamingAccumulator::with_defaults(8, 8, 2);
+        assert!(acc.current().is_none());
+        acc.push(shifted_diag(8, 0)).unwrap();
+        acc.push(shifted_diag(8, 0)).unwrap(); // flush happens here
+        let current = acc.current().unwrap();
+        assert_eq!(
+            DenseMatrix::from_csc(current).get(0, 0),
+            2.0,
+            "two diagonals accumulated"
+        );
+    }
+
+    #[test]
+    fn explicit_flush_with_partial_batch() {
+        let mut acc = StreamingAccumulator::with_defaults(8, 8, 100);
+        acc.push(shifted_diag(8, 1)).unwrap();
+        acc.flush().unwrap();
+        assert_eq!(acc.batches_flushed(), 1);
+        acc.flush().unwrap(); // idempotent on empty pending
+        assert_eq!(acc.batches_flushed(), 1);
+    }
+}

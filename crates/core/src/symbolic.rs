@@ -1,0 +1,238 @@
+//! The symbolic phase (§II-D): computing `nnz(B(:,j))` for every output
+//! column before any memory is allocated.
+//!
+//! Every k-way SpKAdd needs the output sizes to pre-allocate the result
+//! and (for the hash algorithms) to size the tables. The paper's default
+//! is the hash symbolic (Algorithm 6); heap and SPA symbolic phases are
+//! also provided, as is the trivial upper bound `Σ_i nnz(A_i(:,j))` which
+//! skips the symbolic pass at the cost of a compaction after the numeric
+//! phase — the trade-off explored by the `ablation_symbolic` harness.
+
+use crate::hashtab::SymbolicHashTable;
+use crate::heap::KwayHeap;
+use crate::kernels::{hash_symbolic_column, heap_symbolic_column, spa_symbolic_column};
+use crate::mem::NullModel;
+use crate::parallel::{plan_ranges, Scheduling};
+use crate::sliding::{sliding_symbolic_column, SlidingScratch};
+use crate::spa::Spa;
+use rayon::prelude::*;
+use spk_sparse::{ColView, CscMatrix, Scalar};
+
+/// Which data structure computes the per-column output sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SymbolicStrategy {
+    /// Hash symbolic (Algorithm 6) — the paper's default.
+    #[default]
+    Hash,
+    /// Hash symbolic with cache-budgeted sliding tables (Algorithm 7).
+    /// This matters more than sliding the numeric phase when the
+    /// compression factor is high: symbolic tables are sized by *input*
+    /// entries, `cf×` larger than the output (§III-B, Fig 4(d)).
+    SlidingHash,
+    /// Dense-accumulator symbolic.
+    Spa,
+    /// k-way merge symbolic; requires sorted inputs.
+    Heap,
+    /// Skip the symbolic pass: use `Σ_i nnz(A_i(:,j))` as an upper bound
+    /// and compact after the numeric phase.
+    UpperBound,
+}
+
+/// Tuning knobs threaded through the symbolic/numeric drivers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DriverCtx {
+    pub sched: Scheduling,
+    /// Per-thread table budget (entries) for the *symbolic* sliding phase.
+    pub budget_sym: usize,
+    /// Per-thread table budget (entries) for the *numeric* sliding phase.
+    pub budget_add: usize,
+    /// Whether input columns are sorted (selects the sliding panelling).
+    pub inputs_sorted: bool,
+    /// Whether output columns must be emitted sorted.
+    pub sorted_output: bool,
+}
+
+/// Per-column total input nonzeros — the symbolic-phase load-balancing
+/// weights (§III-A) and the upper-bound column sizes.
+pub fn input_nnz_per_column<T: Scalar>(mats: &[&CscMatrix<T>]) -> Vec<usize> {
+    let n = mats[0].ncols();
+    let mut w = vec![0usize; n];
+    for m in mats {
+        for (j, slot) in w.iter_mut().enumerate() {
+            *slot += m.col_nnz(j);
+        }
+    }
+    w
+}
+
+/// Computes `nnz(B(:,j))` for all columns in parallel.
+pub(crate) fn symbolic_counts<T: Scalar>(
+    mats: &[&CscMatrix<T>],
+    strategy: SymbolicStrategy,
+    ctx: &DriverCtx,
+) -> Vec<usize> {
+    let n = mats[0].ncols();
+    let m = mats[0].nrows();
+    let weights = input_nnz_per_column(mats);
+    if strategy == SymbolicStrategy::UpperBound {
+        return weights;
+    }
+    let ranges = plan_ranges(&weights, 0, ctx.sched);
+    let mut counts = vec![0usize; n];
+    let mut tasks: Vec<(std::ops::Range<usize>, &mut [usize])> = Vec::new();
+    {
+        let mut rest = counts.as_mut_slice();
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            tasks.push((r.clone(), head));
+            rest = tail;
+        }
+    }
+    // Thread-private symbolic workspaces, one per worker (§III-A) — the
+    // SPA symbolic state is O(m), so per-chunk allocation would multiply
+    // it by the over-decomposition factor.
+    let nthreads = rayon::current_num_threads().max(1);
+    let ws_pool: Vec<std::sync::Mutex<Option<SymWorkspace<T>>>> =
+        (0..nthreads).map(|_| std::sync::Mutex::new(None)).collect();
+
+    tasks.into_par_iter().for_each(|(cols_range, out)| {
+        let mut views: Vec<ColView<'_, T>> = Vec::with_capacity(mats.len());
+        let mut mem = NullModel;
+        let tid = rayon::current_thread_index().unwrap_or(0) % nthreads;
+        let mut guard = ws_pool[tid].lock().expect("workspace mutex poisoned");
+        let ws = guard.get_or_insert_with(|| SymWorkspace::new(strategy, m, mats.len()));
+        for (slot, j) in cols_range.into_iter().enumerate() {
+            views.clear();
+            views.extend(mats.iter().map(|a| a.col(j)));
+            out[slot] = match ws {
+                SymWorkspace::Hash(ht) => {
+                    let inz: usize = views.iter().map(|c| c.nnz()).sum();
+                    ht.reserve_for(inz);
+                    hash_symbolic_column(&views, ht, &mut mem)
+                }
+                SymWorkspace::Sliding { ht, scratch } => sliding_symbolic_column(
+                    &views,
+                    m,
+                    ctx.budget_sym,
+                    ht,
+                    ctx.inputs_sorted,
+                    scratch,
+                    &mut mem,
+                ),
+                SymWorkspace::Spa(spa) => spa_symbolic_column(&views, spa, &mut mem),
+                SymWorkspace::Heap(heap) => heap_symbolic_column(&views, heap, &mut mem),
+            };
+        }
+    });
+    counts
+}
+
+/// Thread-private symbolic-phase state.
+enum SymWorkspace<T> {
+    Hash(SymbolicHashTable),
+    Sliding {
+        ht: SymbolicHashTable,
+        scratch: SlidingScratch<T>,
+    },
+    Spa(Spa<T>),
+    Heap(KwayHeap<T>),
+}
+
+impl<T: Scalar> SymWorkspace<T> {
+    fn new(strategy: SymbolicStrategy, m: usize, k: usize) -> Self {
+        match strategy {
+            SymbolicStrategy::Hash => SymWorkspace::Hash(SymbolicHashTable::with_capacity(16)),
+            SymbolicStrategy::SlidingHash => SymWorkspace::Sliding {
+                ht: SymbolicHashTable::with_capacity(16),
+                scratch: SlidingScratch::new(),
+            },
+            SymbolicStrategy::Spa => SymWorkspace::Spa(Spa::new(m)),
+            SymbolicStrategy::Heap => SymWorkspace::Heap(KwayHeap::new(k)),
+            SymbolicStrategy::UpperBound => unreachable!("upper bound needs no workspace"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> DriverCtx {
+        DriverCtx {
+            sched: Scheduling::default(),
+            budget_sym: 1 << 20,
+            budget_add: 1 << 20,
+            inputs_sorted: true,
+            sorted_output: true,
+        }
+    }
+
+    fn mats() -> Vec<CscMatrix<f64>> {
+        let a = CscMatrix::try_new(
+            8,
+            2,
+            vec![0, 3, 5],
+            vec![1, 3, 6, 0, 4],
+            vec![1.0; 5],
+        )
+        .unwrap();
+        let b = CscMatrix::try_new(
+            8,
+            2,
+            vec![0, 2, 4],
+            vec![3, 7, 0, 4],
+            vec![1.0; 4],
+        )
+        .unwrap();
+        vec![a, b]
+    }
+
+    #[test]
+    fn strategies_agree_on_exact_counts() {
+        let ms = mats();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let c = ctx();
+        let expect = vec![4usize, 2];
+        for strategy in [
+            SymbolicStrategy::Hash,
+            SymbolicStrategy::SlidingHash,
+            SymbolicStrategy::Spa,
+            SymbolicStrategy::Heap,
+        ] {
+            assert_eq!(
+                symbolic_counts(&refs, strategy, &c),
+                expect,
+                "{strategy:?} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_input_totals() {
+        let ms = mats();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        assert_eq!(
+            symbolic_counts(&refs, SymbolicStrategy::UpperBound, &ctx()),
+            vec![5, 4]
+        );
+    }
+
+    #[test]
+    fn sliding_with_tiny_budget_still_exact() {
+        let ms = mats();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let mut c = ctx();
+        c.budget_sym = 16; // floor of budget_entries
+        assert_eq!(
+            symbolic_counts(&refs, SymbolicStrategy::SlidingHash, &c),
+            vec![4, 2]
+        );
+    }
+
+    #[test]
+    fn input_nnz_per_column_sums() {
+        let ms = mats();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        assert_eq!(input_nnz_per_column(&refs), vec![5, 4]);
+    }
+}

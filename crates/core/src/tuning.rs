@@ -1,0 +1,173 @@
+//! Machine model and automatic algorithm selection.
+//!
+//! The sliding-hash algorithm is parameterized by the machine: last-level
+//! cache capacity `M`, bytes per table entry `b`, and thread count `T`
+//! (Algorithms 7/8). [`CacheConfig`] carries those parameters; `detect()`
+//! reads them from sysfs with conservative fallbacks. The Fig 4
+//! experiments reproduce the paper's Skylake-vs-EPYC contrast simply by
+//! constructing configs with `M` = 32 MB vs 8 MB.
+//!
+//! [`choose_algorithm`] encodes the empirical decision surface of Fig 2:
+//! hash everywhere, sliding hash once the aggregate tables outgrow the
+//! LLC, and 2-way tree for trivially small collections.
+
+use crate::Algorithm;
+
+/// Cache-hierarchy parameters used by the sliding-hash algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Last-level cache capacity in bytes (shared among threads) — `M`.
+    pub llc_bytes: usize,
+    /// L1 data-cache capacity in bytes (per core); informs very small
+    /// table sweet spots (Fig 4(a)).
+    pub l1_bytes: usize,
+}
+
+impl CacheConfig {
+    /// The paper's Intel Skylake 8160 platform (Table II): 32 MB LLC.
+    pub fn skylake() -> Self {
+        Self {
+            llc_bytes: 32 << 20,
+            l1_bytes: 32 << 10,
+        }
+    }
+
+    /// The paper's AMD EPYC 7551 platform (Table II): 8 MB LLC.
+    pub fn epyc() -> Self {
+        Self {
+            llc_bytes: 8 << 20,
+            l1_bytes: 32 << 10,
+        }
+    }
+
+    /// The paper's Cori KNL platform (Table II): 34 MB.
+    pub fn knl() -> Self {
+        Self {
+            llc_bytes: 34 << 20,
+            l1_bytes: 32 << 10,
+        }
+    }
+
+    /// Probes sysfs for the running machine's caches; falls back to a
+    /// 32 MB LLC / 32 KB L1 model when unavailable.
+    pub fn detect() -> Self {
+        let mut llc = 0usize;
+        let mut l1 = 0usize;
+        for idx in 0..8 {
+            let base = format!("/sys/devices/system/cpu/cpu0/cache/index{idx}");
+            let Ok(level) = std::fs::read_to_string(format!("{base}/level")) else {
+                break;
+            };
+            let Ok(size) = std::fs::read_to_string(format!("{base}/size")) else {
+                continue;
+            };
+            let ctype = std::fs::read_to_string(format!("{base}/type")).unwrap_or_default();
+            let Some(bytes) = parse_cache_size(size.trim()) else {
+                continue;
+            };
+            let level: u32 = level.trim().parse().unwrap_or(0);
+            if level == 1 && ctype.trim() != "Instruction" {
+                l1 = l1.max(bytes);
+            }
+            if bytes > llc && level >= 2 {
+                llc = bytes;
+            }
+        }
+        Self {
+            llc_bytes: if llc == 0 { 32 << 20 } else { llc },
+            l1_bytes: if l1 == 0 { 32 << 10 } else { l1 },
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::detect()
+    }
+}
+
+/// Parses sysfs cache sizes like `32K`, `1M`, `32768`.
+fn parse_cache_size(s: &str) -> Option<usize> {
+    if let Some(v) = s.strip_suffix(['K', 'k']) {
+        return v.trim().parse::<usize>().ok().map(|x| x << 10);
+    }
+    if let Some(v) = s.strip_suffix(['M', 'm']) {
+        return v.trim().parse::<usize>().ok().map(|x| x << 20);
+    }
+    if let Some(v) = s.strip_suffix(['G', 'g']) {
+        return v.trim().parse::<usize>().ok().map(|x| x << 30);
+    }
+    s.trim().parse::<usize>().ok()
+}
+
+/// Picks an algorithm from the collection shape, following the empirical
+/// winners of Fig 2.
+///
+/// * `k` — number of matrices; `avg_out_col_nnz` — expected output
+///   entries per column (estimate with `Σ nnz / (cf · n)`, or just
+///   `Σ nnz / n` when the compression factor is unknown);
+/// * `entry_bytes` — hash entry size (4 + sizeof value);
+/// * `threads` — worker count sharing the LLC.
+pub fn choose_algorithm(
+    k: usize,
+    avg_out_col_nnz: usize,
+    entry_bytes: usize,
+    threads: usize,
+    cache: &CacheConfig,
+) -> Algorithm {
+    if k <= 2 {
+        // A single pairwise merge; the streaming merge is optimal here.
+        return Algorithm::TwoWayTree;
+    }
+    let table_bytes = crate::hashtab::table_size_for(avg_out_col_nnz) * entry_bytes;
+    if table_bytes.saturating_mul(threads.max(1)) > cache.llc_bytes {
+        Algorithm::SlidingHash
+    } else {
+        Algorithm::Hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_sizes() {
+        assert_eq!(parse_cache_size("32K"), Some(32 << 10));
+        assert_eq!(parse_cache_size("8M"), Some(8 << 20));
+        assert_eq!(parse_cache_size("1G"), Some(1 << 30));
+        assert_eq!(parse_cache_size("4096"), Some(4096));
+        assert_eq!(parse_cache_size("junk"), None);
+    }
+
+    #[test]
+    fn detect_never_returns_zero() {
+        let c = CacheConfig::detect();
+        assert!(c.llc_bytes > 0);
+        assert!(c.l1_bytes > 0);
+    }
+
+    #[test]
+    fn presets_match_table_2() {
+        assert_eq!(CacheConfig::skylake().llc_bytes, 32 << 20);
+        assert_eq!(CacheConfig::epyc().llc_bytes, 8 << 20);
+        assert_eq!(CacheConfig::knl().llc_bytes, 34 << 20);
+    }
+
+    #[test]
+    fn chooser_follows_figure_2() {
+        let sky = CacheConfig::skylake();
+        // k = 2: plain pairwise merge.
+        assert_eq!(choose_algorithm(2, 1000, 12, 48, &sky), Algorithm::TwoWayTree);
+        // Small tables, many threads: hash.
+        assert_eq!(choose_algorithm(128, 2048, 12, 48, &sky), Algorithm::Hash);
+        // The paper's spill example: k=128, d=512 → 65 536 entries/col,
+        // 12-byte entries, 48 threads ≈ 38 MB > 32 MB LLC → sliding.
+        assert_eq!(
+            choose_algorithm(128, 65_536, 12, 48, &sky),
+            Algorithm::SlidingHash
+        );
+        // Same shape on one thread fits: hash.
+        assert_eq!(choose_algorithm(128, 65_536, 12, 1, &sky), Algorithm::Hash);
+    }
+}

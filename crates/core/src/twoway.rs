@@ -1,0 +1,351 @@
+//! 2-way SpKAdd: pairwise merges, incremental and tree reduction
+//! (Algorithm 1 and §II-B of the paper).
+//!
+//! The column merge is the textbook two-pointer merge of sorted
+//! `(row, value)` lists. On top of it:
+//!
+//! * [`add_pair`] — one parallel 2-way addition `A + B` (count pass,
+//!   prefix sum, fill pass; columns distributed by weight);
+//! * [`spkadd_incremental`] — Alg 1: fold the collection left to right,
+//!   Θ(k²·nd) work for ER inputs because every prefix is re-streamed;
+//! * [`spkadd_tree`] — balanced binary reduction, Θ(k·nd·lg k) work, the
+//!   "free" improvement the paper recommends when only a 2-way primitive
+//!   is available.
+//!
+//! Both require sorted, duplicate-free input columns.
+
+use crate::mem::{MemModel, NullModel};
+use crate::parallel::{exclusive_prefix_sum, plan_ranges, split_output, Scheduling};
+use rayon::prelude::*;
+use spk_sparse::{ColView, CscMatrix, Scalar};
+
+/// Counts the entries `|A(:,j) ∪ B(:,j)|` a merge would produce.
+#[inline]
+pub fn col_merge_count<T: Scalar, M: MemModel>(
+    a: ColView<'_, T>,
+    b: ColView<'_, T>,
+    mem: &mut M,
+) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.rows.len() && j < b.rows.len() {
+        mem.op(1);
+        mem.read(a.rows.as_ptr() as usize + i * 4, 4);
+        mem.read(b.rows.as_ptr() as usize + j * 4, 4);
+        let (ra, rb) = (a.rows[i], b.rows[j]);
+        i += (ra <= rb) as usize;
+        j += (rb <= ra) as usize;
+        n += 1;
+    }
+    n + (a.rows.len() - i) + (b.rows.len() - j)
+}
+
+/// Merges two sorted columns into the output slices, summing equal rows;
+/// returns the number of entries written (the paper's `ColAdd`).
+#[inline]
+pub fn col_merge_into<T: Scalar, M: MemModel>(
+    a: ColView<'_, T>,
+    b: ColView<'_, T>,
+    out_rows: &mut [u32],
+    out_vals: &mut [T],
+    mem: &mut M,
+) -> usize {
+    let sz = std::mem::size_of::<T>();
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.rows.len() && j < b.rows.len() {
+        mem.op(1);
+        mem.read(a.rows.as_ptr() as usize + i * 4, 4);
+        mem.read(b.rows.as_ptr() as usize + j * 4, 4);
+        let (ra, rb) = (a.rows[i], b.rows[j]);
+        if ra < rb {
+            mem.read(a.vals.as_ptr() as usize + i * sz, sz);
+            out_rows[n] = ra;
+            out_vals[n] = a.vals[i];
+            i += 1;
+        } else if rb < ra {
+            mem.read(b.vals.as_ptr() as usize + j * sz, sz);
+            out_rows[n] = rb;
+            out_vals[n] = b.vals[j];
+            j += 1;
+        } else {
+            mem.read(a.vals.as_ptr() as usize + i * sz, sz);
+            mem.read(b.vals.as_ptr() as usize + j * sz, sz);
+            out_rows[n] = ra;
+            out_vals[n] = a.vals[i] + b.vals[j];
+            i += 1;
+            j += 1;
+        }
+        mem.write(out_rows.as_ptr() as usize + n * 4, 4);
+        mem.write(out_vals.as_ptr() as usize + n * sz, sz);
+        n += 1;
+    }
+    while i < a.rows.len() {
+        mem.read(a.rows.as_ptr() as usize + i * 4, 4);
+        mem.read(a.vals.as_ptr() as usize + i * sz, sz);
+        out_rows[n] = a.rows[i];
+        out_vals[n] = a.vals[i];
+        mem.write(out_rows.as_ptr() as usize + n * 4, 4);
+        mem.write(out_vals.as_ptr() as usize + n * sz, sz);
+        i += 1;
+        n += 1;
+    }
+    while j < b.rows.len() {
+        mem.read(b.rows.as_ptr() as usize + j * 4, 4);
+        mem.read(b.vals.as_ptr() as usize + j * sz, sz);
+        out_rows[n] = b.rows[j];
+        out_vals[n] = b.vals[j];
+        mem.write(out_rows.as_ptr() as usize + n * 4, 4);
+        mem.write(out_vals.as_ptr() as usize + n * sz, sz);
+        j += 1;
+        n += 1;
+    }
+    n
+}
+
+/// Parallel 2-way addition `A + B` over sorted CSC inputs.
+///
+/// Two passes: a counting pass sizes every output column exactly, then a
+/// fill pass writes disjoint windows — no synchronization, no compaction.
+pub fn add_pair<T: Scalar>(
+    a: &CscMatrix<T>,
+    b: &CscMatrix<T>,
+    threads: usize,
+    sched: Scheduling,
+) -> CscMatrix<T> {
+    debug_assert_eq!(a.shape(), b.shape());
+    let n = a.ncols();
+    // Per-column weights for balancing: the merge cost is linear in the
+    // total entries of both columns.
+    let weights: Vec<usize> = (0..n).map(|j| a.col_nnz(j) + b.col_nnz(j)).collect();
+    let ranges = plan_ranges(&weights, threads, sched);
+
+    // Pass 1: exact per-column output sizes.
+    let mut counts = vec![0usize; n];
+    {
+        let mut parts: Vec<(std::ops::Range<usize>, &mut [usize])> = Vec::new();
+        let mut rest = counts.as_mut_slice();
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            parts.push((r.clone(), head));
+            rest = tail;
+        }
+        parts.into_par_iter().for_each(|(cols, out)| {
+            let mut mem = NullModel;
+            for (slot, j) in cols.into_iter().enumerate() {
+                out[slot] = col_merge_count(a.col(j), b.col(j), &mut mem);
+            }
+        });
+    }
+    let colptr = exclusive_prefix_sum(&counts);
+    let nnz = *colptr.last().unwrap();
+    let mut rowidx = vec![0u32; nnz];
+    let mut values = vec![T::default(); nnz];
+
+    // Pass 2: merge into disjoint windows.
+    let chunks = split_output(&colptr, &ranges, &mut rowidx, &mut values);
+    chunks.into_par_iter().for_each(|chunk| {
+        let mut mem = NullModel;
+        for j in chunk.cols.clone() {
+            let lo = colptr[j] - chunk.base;
+            let hi = colptr[j + 1] - chunk.base;
+            let written = col_merge_into(
+                a.col(j),
+                b.col(j),
+                &mut chunk.rows[lo..hi],
+                &mut chunk.vals[lo..hi],
+                &mut mem,
+            );
+            debug_assert_eq!(written, hi - lo);
+        }
+    });
+
+    CscMatrix::from_parts(a.nrows(), a.ncols(), colptr, rowidx, values)
+}
+
+/// SpKAdd by 2-way *incremental* additions (Algorithm 1): `B ← B + A_i`
+/// left to right. Quadratic in `k` for disjoint inputs.
+pub fn spkadd_incremental<T: Scalar>(
+    mats: &[&CscMatrix<T>],
+    threads: usize,
+    sched: Scheduling,
+) -> CscMatrix<T> {
+    let mut acc = mats[0].clone();
+    for a in &mats[1..] {
+        acc = add_pair(&acc, a, threads, sched);
+    }
+    acc
+}
+
+/// SpKAdd by 2-way *tree* additions: inputs at the leaves of a balanced
+/// binary tree, `⌈lg k⌉` levels, every level touching Σ nnz once.
+///
+/// Pairs within a level are independent and run in parallel on top of the
+/// column-parallel `add_pair`; rayon's work stealing composes the two
+/// levels of parallelism.
+pub fn spkadd_tree<T: Scalar>(
+    mats: &[&CscMatrix<T>],
+    threads: usize,
+    sched: Scheduling,
+) -> CscMatrix<T> {
+    // Leaf level: borrow the inputs.
+    let mut level: Vec<CscMatrix<T>> = mats
+        .par_chunks(2)
+        .map(|pair| match pair {
+            [a, b] => add_pair(a, b, threads, sched),
+            [a] => (*a).clone(),
+            _ => unreachable!(),
+        })
+        .collect();
+    // Internal levels: own the intermediates.
+    while level.len() > 1 {
+        level = level
+            .par_chunks(2)
+            .map(|pair| match pair {
+                [a, b] => add_pair(a, b, threads, sched),
+                [a] => a.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+    }
+    level.pop().expect("non-empty input collection")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::CountingModel;
+    use spk_sparse::DenseMatrix;
+
+    fn mat(cols: Vec<(Vec<u32>, Vec<f64>)>, m: usize) -> CscMatrix<f64> {
+        let mut colptr = vec![0usize];
+        let mut rows = Vec::new();
+        let mut vals = Vec::new();
+        for (r, v) in cols {
+            rows.extend_from_slice(&r);
+            vals.extend_from_slice(&v);
+            colptr.push(rows.len());
+        }
+        CscMatrix::try_new(m, colptr.len() - 1, colptr, rows, vals).unwrap()
+    }
+
+    fn dense_sum(mats: &[&CscMatrix<f64>]) -> DenseMatrix<f64> {
+        let mut acc = DenseMatrix::zeros(mats[0].nrows(), mats[0].ncols());
+        for m in mats {
+            acc.add_assign(&DenseMatrix::from_csc(m)).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn merge_kernels_agree_on_count() {
+        let a = mat(vec![(vec![1, 3, 6], vec![3.0, 2.0, 1.0])], 8);
+        let b = mat(vec![(vec![0, 3, 5], vec![2.0, 1.0, 3.0])], 8);
+        let mut mem = NullModel;
+        let c = col_merge_count(a.col(0), b.col(0), &mut mem);
+        assert_eq!(c, 5);
+        let mut rows = vec![0u32; c];
+        let mut vals = vec![0.0f64; c];
+        let n = col_merge_into(a.col(0), b.col(0), &mut rows, &mut vals, &mut mem);
+        assert_eq!(n, c);
+        assert_eq!(rows, vec![0, 1, 3, 5, 6]);
+        assert_eq!(vals, vec![2.0, 3.0, 3.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let a = mat(vec![(vec![], vec![])], 4);
+        let b = mat(vec![(vec![2], vec![1.0])], 4);
+        let mut mem = NullModel;
+        assert_eq!(col_merge_count(a.col(0), b.col(0), &mut mem), 1);
+        assert_eq!(col_merge_count(a.col(0), a.col(0), &mut mem), 0);
+        let mut rows = [0u32; 1];
+        let mut vals = [0.0f64; 1];
+        assert_eq!(
+            col_merge_into(b.col(0), a.col(0), &mut rows, &mut vals, &mut mem),
+            1
+        );
+        assert_eq!(rows[0], 2);
+    }
+
+    #[test]
+    fn add_pair_matches_dense_oracle() {
+        let a = mat(
+            vec![
+                (vec![1, 3, 6], vec![3.0, 2.0, 1.0]),
+                (vec![], vec![]),
+                (vec![0, 7], vec![5.0, 5.0]),
+            ],
+            8,
+        );
+        let b = mat(
+            vec![
+                (vec![0, 3, 5], vec![2.0, 1.0, 3.0]),
+                (vec![4], vec![9.0]),
+                (vec![0], vec![-5.0]),
+            ],
+            8,
+        );
+        let c = add_pair(&a, &b, 0, Scheduling::default());
+        let oracle = dense_sum(&[&a, &b]).to_csc();
+        // add_pair keeps explicit zeros (0 + -0 cancellations stay stored),
+        // so compare densely.
+        assert_eq!(
+            DenseMatrix::from_csc(&c).max_abs_diff(&dense_sum(&[&a, &b])),
+            0.0
+        );
+        assert!(c.is_sorted());
+        // Structure: union of patterns (5 + 1 + 2 entries).
+        assert_eq!(c.nnz(), 5 + 1 + 2);
+        let _ = oracle;
+    }
+
+    #[test]
+    fn incremental_and_tree_agree() {
+        let a = mat(vec![(vec![0, 2], vec![1.0, 1.0])], 4);
+        let b = mat(vec![(vec![1], vec![2.0])], 4);
+        let c = mat(vec![(vec![2, 3], vec![4.0, 8.0])], 4);
+        let d = mat(vec![(vec![0], vec![16.0])], 4);
+        let mats = [&a, &b, &c, &d];
+        let inc = spkadd_incremental(&mats, 0, Scheduling::default());
+        let tree = spkadd_tree(&mats, 0, Scheduling::default());
+        assert!(inc.approx_eq(&tree, 1e-12));
+        assert_eq!(inc.get(2, 0).unwrap(), 5.0);
+        assert_eq!(inc.get(0, 0).unwrap(), 17.0);
+    }
+
+    #[test]
+    fn tree_handles_odd_and_single_inputs() {
+        let a = mat(vec![(vec![0], vec![1.0])], 2);
+        let b = mat(vec![(vec![1], vec![2.0])], 2);
+        let c = mat(vec![(vec![0], vec![4.0])], 2);
+        let three = spkadd_tree(&[&a, &b, &c], 0, Scheduling::default());
+        assert_eq!(three.get(0, 0).unwrap(), 5.0);
+        assert_eq!(three.get(1, 0).unwrap(), 2.0);
+        let one = spkadd_tree(&[&a], 0, Scheduling::default());
+        assert!(one.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn static_scheduling_gives_same_result() {
+        let a = mat(vec![(vec![0, 2], vec![1.0, 1.0]), (vec![1], vec![3.0])], 4);
+        let b = mat(vec![(vec![2], vec![2.0]), (vec![1, 3], vec![1.0, 1.0])], 4);
+        let dynamic = add_pair(&a, &b, 0, Scheduling::default());
+        let stat = add_pair(&a, &b, 0, Scheduling::Static);
+        assert!(dynamic.approx_eq(&stat, 0.0));
+    }
+
+    #[test]
+    fn merge_traffic_is_linear_in_inputs() {
+        // Disjoint rows: |out| = |a| + |b|; every entry read and written once.
+        let a = mat(vec![((0..50).map(|i| i * 2).collect(), vec![1.0; 50])], 100);
+        let b = mat(
+            vec![((0..50).map(|i| i * 2 + 1).collect(), vec![1.0; 50])],
+            100,
+        );
+        let mut mem = CountingModel::new();
+        let mut rows = vec![0u32; 100];
+        let mut vals = vec![0.0f64; 100];
+        let n = col_merge_into(a.col(0), b.col(0), &mut rows, &mut vals, &mut mem);
+        assert_eq!(n, 100);
+        assert_eq!(mem.writes, 200, "one row + one val write per output entry");
+    }
+}

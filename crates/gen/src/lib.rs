@@ -1,0 +1,42 @@
+//! # spk-gen — deterministic sparse workload generators
+//!
+//! Reproduces the paper's input protocols (§IV-A):
+//!
+//! * [`rmat`] — the recursive R-MAT generator for rectangular matrices,
+//!   with the paper's two parameter sets: [`RmatParams::ER`]
+//!   (a=b=c=d=0.25, Erdős–Rényi-like uniform) and [`RmatParams::G500`]
+//!   (a=0.57, b=c=0.19, d=0.05, the Graph500 power-law pattern);
+//! * [`er`] — direct uniform sampling (equivalent to R-MAT/ER, faster);
+//! * [`split::generate_collection`] — the paper's SpKAdd workload
+//!   protocol: generate one `m × (n·k)` matrix and split it along columns
+//!   into `k` matrices of `m × n`, so the `k` summands share the global
+//!   row-degree structure (critical for RMAT skew);
+//! * [`protein`] — compression-factor-controlled synthetic stand-ins for
+//!   the HipMCL protein-similarity workloads (Eukarya/Isolates/
+//!   Metaclust50), which are not redistributable at laptop scale (see
+//!   DESIGN.md, substitution 3).
+//!
+//! Everything is deterministic given an explicit `u64` seed, and
+//! independent of thread count: parallel generation uses a fixed fan-out
+//! of per-chunk RNG streams derived from the seed.
+
+pub mod protein;
+pub mod rmat;
+pub mod split;
+
+pub use protein::{protein_collection, protein_similarity_matrix, ProteinConfig};
+pub use rmat::{er, rmat, RmatConfig, RmatParams};
+pub use split::{generate_collection, split_columns, Pattern};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_work() {
+        let m = er(64, 8, 4, 42);
+        assert_eq!(m.shape(), (64, 8));
+        let ms = generate_collection(Pattern::Er, 64, 4, 4, 4, 7);
+        assert_eq!(ms.len(), 4);
+    }
+}

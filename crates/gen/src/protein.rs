@@ -1,0 +1,254 @@
+//! Synthetic protein-similarity workloads.
+//!
+//! The paper's real-data experiments use HipMCL protein-similarity
+//! networks (Eukarya 3M×3M/360M nnz, Isolates 35M/17B, Metaclust50
+//! 282M/37B) and, for Fig 3(c)/Fig 4(d), the *intermediate* matrices a
+//! distributed SpGEMM produces from Eukarya — a collection of k=64
+//! low-rank pieces with compression factor cf ≈ 22.6. Those datasets are
+//! tens of gigabytes to terabytes; this module generates scaled stand-ins
+//! that preserve the properties the SpKAdd algorithms are sensitive to:
+//!
+//! * **compression factor** — [`protein_collection`] draws each matrix's
+//!   column entries from a shared per-column row pool of size `k·d/cf`,
+//!   so the summands overlap heavily, exactly like SpGEMM intermediates
+//!   of a clustered graph;
+//! * **skew** — per-column densities follow a Zipf-like law;
+//! * **clustered structure** — [`protein_similarity_matrix`] builds a
+//!   block-community graph with power-law community sizes plus background
+//!   noise, the input shape of the Fig 6 SpGEMM runs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use spk_sparse::{CooMatrix, CscMatrix};
+
+/// Configuration for [`protein_collection`].
+#[derive(Debug, Clone)]
+pub struct ProteinConfig {
+    /// Rows of every matrix.
+    pub nrows: usize,
+    /// Columns of every matrix.
+    pub ncols: usize,
+    /// Average nonzeros per column per matrix.
+    pub d: usize,
+    /// Number of matrices in the collection.
+    pub k: usize,
+    /// Target compression factor `Σ nnz(A_i) / nnz(B)` (≥ 1). Eukarya's
+    /// SpGEMM intermediates measure ≈ 22.6 (paper Fig 4(d)).
+    pub cf: f64,
+    /// Zipf-like column-density skew exponent; 0 = uniform columns.
+    pub skew: f64,
+}
+
+impl Default for ProteinConfig {
+    fn default() -> Self {
+        Self {
+            nrows: 1 << 16,
+            ncols: 1 << 10,
+            d: 64,
+            k: 64,
+            cf: 22.6,
+            skew: 0.6,
+        }
+    }
+}
+
+/// Generates a collection of `k` matrices whose sum compresses by ≈ `cf`.
+pub fn protein_collection(cfg: &ProteinConfig, seed: u64) -> Vec<CscMatrix<f64>> {
+    assert!(cfg.cf >= 1.0, "compression factor must be ≥ 1");
+    assert!(cfg.k >= 1 && cfg.ncols >= 1 && cfg.nrows >= 1);
+    // Zipf-ish per-column weight, normalized so the average stays d.
+    let weights: Vec<f64> = (0..cfg.ncols)
+        .map(|j| 1.0 / ((j + 1) as f64).powf(cfg.skew))
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    let scale = cfg.ncols as f64 / wsum;
+
+    (0..cfg.k)
+        .map(|i| {
+            // Columns are generated in parallel; every (matrix, column)
+            // pool is derived from the seed alone, so matrix i's column j
+            // draws from the same pool as matrix i'≠i's column j.
+            let triplets: Vec<(Vec<u32>, Vec<f64>)> = (0..cfg.ncols)
+                .into_par_iter()
+                .map(|j| {
+                    let d_j =
+                        ((cfg.d as f64) * weights[j] * scale).round().max(1.0) as usize;
+                    let pool_size =
+                        (((cfg.k * d_j) as f64) / cfg.cf).round().max(1.0) as usize;
+                    // Pool RNG: shared across matrices (depends on j only).
+                    let mut pool_rng =
+                        SmallRng::seed_from_u64(seed ^ (j as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                    let pool: Vec<u32> = (0..pool_size)
+                        .map(|_| pool_rng.gen_range(0..cfg.nrows as u32))
+                        .collect();
+                    // Draw RNG: distinct per (matrix, column).
+                    let mut rng = SmallRng::seed_from_u64(
+                        seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            ^ (j as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                    );
+                    let mut rows: Vec<u32> = (0..d_j)
+                        .map(|_| pool[rng.gen_range(0..pool.len())])
+                        .collect();
+                    rows.sort_unstable();
+                    rows.dedup();
+                    let vals = rows.iter().map(|_| rng.gen_range(0.0..1.0)).collect();
+                    (rows, vals)
+                })
+                .collect();
+            let nnz: usize = triplets.iter().map(|(r, _)| r.len()).sum();
+            let mut coo = CooMatrix::with_capacity(cfg.nrows, cfg.ncols, nnz);
+            for (j, (rows, vals)) in triplets.iter().enumerate() {
+                for (r, v) in rows.iter().zip(vals) {
+                    coo.push(*r, j as u32, *v);
+                }
+            }
+            coo.to_csc_sum_duplicates()
+        })
+        .collect()
+}
+
+/// Generates a square clustered similarity graph: `n` proteins in
+/// power-law-sized communities, each vertex connecting to ~`avg_deg`
+/// others, `in_cluster` of them within its community. The Fig 6 SpGEMM
+/// inputs (Metaclust50-like / Isolates-like) are scaled instances of this.
+pub fn protein_similarity_matrix(
+    n: usize,
+    avg_deg: usize,
+    num_clusters: usize,
+    in_cluster: f64,
+    seed: u64,
+) -> CscMatrix<f64> {
+    assert!(n > 0 && num_clusters > 0);
+    assert!((0.0..=1.0).contains(&in_cluster));
+    // Power-law community boundaries: community c covers a share ∝ 1/(c+1).
+    let weights: Vec<f64> = (0..num_clusters).map(|c| 1.0 / (c + 1) as f64).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut bounds = Vec::with_capacity(num_clusters + 1);
+    bounds.push(0usize);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / wsum;
+        bounds.push(((acc * n as f64) as usize).min(n));
+    }
+    *bounds.last_mut().unwrap() = n;
+
+    let triplets: Vec<(Vec<u32>, Vec<f64>)> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let mut rng = SmallRng::seed_from_u64(
+                seed ^ (v as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+            );
+            let c = bounds.partition_point(|&b| b <= v) - 1;
+            let (lo, hi) = (bounds[c], bounds[c + 1]);
+            let mut rows: Vec<u32> = (0..avg_deg)
+                .map(|_| {
+                    if hi > lo && rng.gen::<f64>() < in_cluster {
+                        rng.gen_range(lo..hi) as u32
+                    } else {
+                        rng.gen_range(0..n as u32)
+                    }
+                })
+                .collect();
+            rows.sort_unstable();
+            rows.dedup();
+            let vals = rows.iter().map(|_| rng.gen_range(0.1..1.0)).collect();
+            (rows, vals)
+        })
+        .collect();
+    let nnz: usize = triplets.iter().map(|(r, _)| r.len()).sum();
+    let mut coo = CooMatrix::with_capacity(n, n, nnz);
+    for (j, (rows, vals)) in triplets.iter().enumerate() {
+        for (r, v) in rows.iter().zip(vals) {
+            coo.push(*r, j as u32, *v);
+        }
+    }
+    coo.to_csc_sum_duplicates()
+}
+
+/// Measured compression factor of a collection: `Σ nnz / nnz(union)`,
+/// computed independently of the SpKAdd kernels (so tests can use it as
+/// an oracle-side check).
+pub fn measured_cf(mats: &[CscMatrix<f64>]) -> f64 {
+    assert!(!mats.is_empty());
+    let n = mats[0].ncols();
+    let total: usize = mats.iter().map(|m| m.nnz()).sum();
+    let union: usize = (0..n)
+        .into_par_iter()
+        .map(|j| {
+            let mut rows: Vec<u32> = mats
+                .iter()
+                .flat_map(|m| m.col(j).rows.iter().copied())
+                .collect();
+            rows.sort_unstable();
+            rows.dedup();
+            rows.len()
+        })
+        .sum();
+    total as f64 / union.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collection_is_deterministic() {
+        let cfg = ProteinConfig {
+            nrows: 1 << 10,
+            ncols: 32,
+            d: 8,
+            k: 8,
+            cf: 4.0,
+            skew: 0.4,
+        };
+        let a = protein_collection(&cfg, 77);
+        let b = protein_collection(&cfg, 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shapes_and_sortedness() {
+        let cfg = ProteinConfig {
+            nrows: 512,
+            ncols: 16,
+            d: 6,
+            k: 4,
+            cf: 3.0,
+            skew: 0.0,
+        };
+        for m in protein_collection(&cfg, 9) {
+            assert_eq!(m.shape(), (512, 16));
+            assert!(m.is_sorted());
+            assert!(m.nnz() > 0);
+        }
+    }
+
+    #[test]
+    fn compression_factor_tracks_target() {
+        for target in [2.0, 8.0] {
+            let cfg = ProteinConfig {
+                nrows: 1 << 14,
+                ncols: 64,
+                d: 16,
+                k: 16,
+                cf: target,
+                skew: 0.0,
+            };
+            let ms = protein_collection(&cfg, 5);
+            let cf = measured_cf(&ms);
+            assert!(
+                (cf / target - 1.0).abs() < 0.5,
+                "measured cf {cf} too far from target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn similarity_matrix_is_clustered() {
+        let m = protein_similarity_matrix(1000, 16, 10, 0.9, 31);
+        assert_eq!(m.shape(), (1000, 1000));
+        assert!(m.nnz() > 1000 * 8);
+        assert!(m.is_sorted());
+    }
+}

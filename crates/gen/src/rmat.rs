@@ -1,0 +1,284 @@
+//! R-MAT and uniform (ER) matrix generation.
+//!
+//! R-MAT (Chakrabarti, Zhan, Faloutsos — the paper's [14]) recursively
+//! bisects the adjacency matrix: at each level a quadrant is chosen with
+//! probabilities (a, b, c, d) and one more bit of the row and column
+//! indices is fixed. Skewed parameter sets concentrate nonzeros in a few
+//! heavy rows/columns — the load-imbalance stressor of §III-A.
+//!
+//! This implementation generalizes to rectangular `m × n` matrices by
+//! descending `⌈lg m⌉` row levels and `⌈lg n⌉` column levels
+//! simultaneously and rejection-sampling indices that land outside the
+//! actual shape.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use spk_sparse::{CooMatrix, CscMatrix};
+
+/// R-MAT quadrant probabilities. Must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left (small row, small col).
+    pub a: f64,
+    /// Top-right (small row, large col).
+    pub b: f64,
+    /// Bottom-left (large row, small col).
+    pub c: f64,
+    /// Bottom-right (large row, large col).
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The paper's ER setting: a=b=c=d=0.25 (uniform).
+    pub const ER: RmatParams = RmatParams {
+        a: 0.25,
+        b: 0.25,
+        c: 0.25,
+        d: 0.25,
+    };
+
+    /// The paper's Graph500/RMAT setting: a=0.57, b=c=0.19, d=0.05.
+    pub const G500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
+
+    /// Validates that the probabilities are non-negative and sum to ~1.
+    pub fn is_valid(&self) -> bool {
+        let s = self.a + self.b + self.c + self.d;
+        self.a >= 0.0
+            && self.b >= 0.0
+            && self.c >= 0.0
+            && self.d >= 0.0
+            && (s - 1.0).abs() < 1e-9
+    }
+}
+
+/// Configuration for [`rmat`].
+#[derive(Debug, Clone)]
+pub struct RmatConfig {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of samples drawn. After duplicate merging the stored nnz is
+    /// at most this (noticeably less for skewed parameters).
+    pub samples: usize,
+    /// Quadrant probabilities.
+    pub params: RmatParams,
+    /// Merge duplicate samples by summation (otherwise they are kept,
+    /// producing a non-canonical matrix — useful for testing unsorted/
+    /// duplicate tolerance).
+    pub sum_duplicates: bool,
+}
+
+/// Number of parallel sample chunks — fixed so results do not depend on
+/// the thread count.
+const GEN_CHUNKS: usize = 64;
+
+/// Generates an R-MAT matrix with uniform values in `[0.5, 1.5)`.
+pub fn rmat(cfg: &RmatConfig, seed: u64) -> CscMatrix<f64> {
+    assert!(cfg.params.is_valid(), "R-MAT parameters must sum to 1");
+    assert!(cfg.nrows > 0 && cfg.ncols > 0, "matrix must be non-empty");
+    let row_levels = usize::BITS - (cfg.nrows - 1).max(1).leading_zeros();
+    let col_levels = usize::BITS - (cfg.ncols - 1).max(1).leading_zeros();
+    let levels = row_levels.max(col_levels);
+
+    let per_chunk = cfg.samples / GEN_CHUNKS;
+    let remainder = cfg.samples % GEN_CHUNKS;
+    let chunks: Vec<(Vec<u32>, Vec<u32>, Vec<f64>)> = (0..GEN_CHUNKS)
+        .into_par_iter()
+        .map(|chunk| {
+            let quota = per_chunk + usize::from(chunk < remainder);
+            let mut rng = SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
+                .wrapping_mul(chunk as u64 + 1)));
+            let mut rows = Vec::with_capacity(quota);
+            let mut cols = Vec::with_capacity(quota);
+            let mut vals = Vec::with_capacity(quota);
+            for _ in 0..quota {
+                let (r, c) = sample_edge(&mut rng, cfg, levels, row_levels, col_levels);
+                rows.push(r);
+                cols.push(c);
+                vals.push(rng.gen_range(0.5..1.5));
+            }
+            (rows, cols, vals)
+        })
+        .collect();
+
+    let mut coo = CooMatrix::with_capacity(cfg.nrows, cfg.ncols, cfg.samples);
+    for (rows, cols, vals) in chunks {
+        for ((r, c), v) in rows.into_iter().zip(cols).zip(vals) {
+            coo.push(r, c, v);
+        }
+    }
+    if cfg.sum_duplicates {
+        coo.to_csc_sum_duplicates()
+    } else {
+        coo.to_csc()
+    }
+}
+
+#[inline]
+fn sample_edge(
+    rng: &mut SmallRng,
+    cfg: &RmatConfig,
+    levels: u32,
+    row_levels: u32,
+    col_levels: u32,
+) -> (u32, u32) {
+    loop {
+        let mut row = 0usize;
+        let mut col = 0usize;
+        for level in 0..levels {
+            let x: f64 = rng.gen();
+            // Quadrant: a | b over c | d.
+            let (rbit, cbit) = if x < cfg.params.a {
+                (0, 0)
+            } else if x < cfg.params.a + cfg.params.b {
+                (0, 1)
+            } else if x < cfg.params.a + cfg.params.b + cfg.params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            if level < row_levels {
+                row = (row << 1) | rbit;
+            }
+            if level < col_levels {
+                col = (col << 1) | cbit;
+            }
+        }
+        if row < cfg.nrows && col < cfg.ncols {
+            return (row as u32, col as u32);
+        }
+    }
+}
+
+/// Uniform Erdős–Rényi-style matrix: `d` samples per column on average,
+/// values in `[0.5, 1.5)`, duplicates merged. Statistically equivalent to
+/// `rmat` with [`RmatParams::ER`] but samples indices directly.
+pub fn er(nrows: usize, ncols: usize, d_per_col: usize, seed: u64) -> CscMatrix<f64> {
+    assert!(nrows > 0 && ncols > 0);
+    let samples = d_per_col * ncols;
+    let per_chunk = samples / GEN_CHUNKS;
+    let remainder = samples % GEN_CHUNKS;
+    let chunks: Vec<(Vec<u32>, Vec<u32>, Vec<f64>)> = (0..GEN_CHUNKS)
+        .into_par_iter()
+        .map(|chunk| {
+            let quota = per_chunk + usize::from(chunk < remainder);
+            let mut rng = SmallRng::seed_from_u64(seed ^ (0xD1B5_4A32_D192_ED03u64
+                .wrapping_mul(chunk as u64 + 1)));
+            let mut rows = Vec::with_capacity(quota);
+            let mut cols = Vec::with_capacity(quota);
+            let mut vals = Vec::with_capacity(quota);
+            for _ in 0..quota {
+                rows.push(rng.gen_range(0..nrows as u32));
+                cols.push(rng.gen_range(0..ncols as u32));
+                vals.push(rng.gen_range(0.5..1.5));
+            }
+            (rows, cols, vals)
+        })
+        .collect();
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, samples);
+    for (rows, cols, vals) in chunks {
+        for ((r, c), v) in rows.into_iter().zip(cols).zip(vals) {
+            coo.push(r, c, v);
+        }
+    }
+    coo.to_csc_sum_duplicates()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(params: RmatParams) -> RmatConfig {
+        RmatConfig {
+            nrows: 256,
+            ncols: 64,
+            samples: 4096,
+            params,
+            sum_duplicates: true,
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = rmat(&cfg(RmatParams::G500), 123);
+        let b = rmat(&cfg(RmatParams::G500), 123);
+        assert_eq!(a, b);
+        let c = rmat(&cfg(RmatParams::G500), 124);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn respects_shape_and_canonical_form() {
+        let m = rmat(&cfg(RmatParams::ER), 7);
+        assert_eq!(m.shape(), (256, 64));
+        assert!(m.nnz() <= 4096);
+        assert!(m.nnz() > 3000, "ER dedup should lose few samples");
+        assert!(m.is_sorted());
+    }
+
+    #[test]
+    fn g500_is_more_skewed_than_er() {
+        let e = rmat(&cfg(RmatParams::ER), 99);
+        let g = rmat(&cfg(RmatParams::G500), 99);
+        let max_col = |m: &CscMatrix<f64>| (0..m.ncols()).map(|j| m.col_nnz(j)).max().unwrap();
+        assert!(
+            max_col(&g) > 2 * max_col(&e),
+            "G500 max column degree {} should dwarf ER's {}",
+            max_col(&g),
+            max_col(&e)
+        );
+    }
+
+    #[test]
+    fn duplicates_kept_when_requested() {
+        let mut c = cfg(RmatParams::G500);
+        c.sum_duplicates = false;
+        let m = rmat(&c, 42);
+        assert_eq!(m.nnz(), 4096, "every sample stored");
+    }
+
+    #[test]
+    fn er_direct_matches_shape_and_density() {
+        let m = er(512, 32, 8, 5);
+        assert_eq!(m.shape(), (512, 32));
+        let nnz = m.nnz();
+        assert!(nnz <= 8 * 32);
+        assert!(nnz > 8 * 32 * 9 / 10, "uniform sampling rarely collides");
+    }
+
+    #[test]
+    fn non_power_of_two_shapes() {
+        let m = rmat(
+            &RmatConfig {
+                nrows: 100,
+                ncols: 7,
+                samples: 500,
+                params: RmatParams::G500,
+                sum_duplicates: true,
+            },
+            3,
+        );
+        assert_eq!(m.shape(), (100, 7));
+        assert!(m.iter().all(|(r, c, _)| (r as usize) < 100 && (c as usize) < 7));
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(RmatParams::ER.is_valid());
+        assert!(RmatParams::G500.is_valid());
+        assert!(!RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5
+        }
+        .is_valid());
+    }
+}

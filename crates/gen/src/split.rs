@@ -1,0 +1,123 @@
+//! The paper's SpKAdd workload protocol (§IV-A): "we create an `m × n`
+//! matrix and then split this matrix along the column to create `k`
+//! matrices".
+//!
+//! Splitting one big matrix — rather than generating `k` independent
+//! ones — matters for skewed patterns: the `k` summands inherit the same
+//! heavy rows, so their sum concentrates, exactly the load-imbalance
+//! scenario §III-A targets.
+
+use crate::rmat::{er, rmat, RmatConfig, RmatParams};
+use spk_sparse::CscMatrix;
+
+/// Which sparsity pattern to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Uniform (Erdős–Rényi; R-MAT with a=b=c=d=0.25).
+    Er,
+    /// Power-law (Graph500; R-MAT with a=0.57, b=c=0.19, d=0.05).
+    Rmat,
+}
+
+/// Splits a matrix along columns into `k` equal slabs (the last slab picks
+/// up the remainder columns).
+pub fn split_columns<T: spk_sparse::Scalar>(m: &CscMatrix<T>, k: usize) -> Vec<CscMatrix<T>> {
+    assert!(k > 0);
+    let n = m.ncols();
+    let per = n / k;
+    assert!(per > 0, "fewer columns ({n}) than splits ({k})");
+    (0..k)
+        .map(|i| {
+            let c1 = i * per;
+            let c2 = if i + 1 == k { n } else { (i + 1) * per };
+            m.slice_cols(c1, c2)
+        })
+        .collect()
+}
+
+/// Generates the paper's SpKAdd input collection: `k` matrices of shape
+/// `m × n`, each with ~`d` nonzeros per column, produced by splitting one
+/// `m × (n·k)` matrix of the requested pattern.
+pub fn generate_collection(
+    pattern: Pattern,
+    m: usize,
+    n: usize,
+    d: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<CscMatrix<f64>> {
+    let whole = match pattern {
+        Pattern::Er => er(m, n * k, d, seed),
+        Pattern::Rmat => rmat(
+            &RmatConfig {
+                nrows: m,
+                ncols: n * k,
+                samples: d * n * k,
+                params: RmatParams::G500,
+                sum_duplicates: true,
+            },
+            seed,
+        ),
+    };
+    split_columns(&whole, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spk_sparse::DenseMatrix;
+
+    #[test]
+    fn split_preserves_all_entries() {
+        let whole = er(128, 24, 5, 11);
+        let parts = split_columns(&whole, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(|p| p.nnz()).sum::<usize>(), whole.nnz());
+        for p in &parts {
+            assert_eq!(p.shape(), (128, 8));
+        }
+        // Entry-level check against the source slabs.
+        for (i, p) in parts.iter().enumerate() {
+            let expect = whole.slice_cols(i * 8, (i + 1) * 8);
+            assert!(p.approx_eq(&expect, 0.0));
+        }
+    }
+
+    #[test]
+    fn split_remainder_goes_to_last() {
+        let whole = er(64, 10, 3, 2);
+        let parts = split_columns(&whole, 3);
+        assert_eq!(parts[0].ncols(), 3);
+        assert_eq!(parts[1].ncols(), 3);
+        assert_eq!(parts[2].ncols(), 4);
+    }
+
+    #[test]
+    fn collection_has_uniform_shape() {
+        let ms = generate_collection(Pattern::Rmat, 256, 8, 4, 4, 21);
+        assert_eq!(ms.len(), 4);
+        for m in &ms {
+            assert_eq!(m.shape(), (256, 8));
+            assert!(m.is_sorted());
+        }
+    }
+
+    #[test]
+    fn rmat_collection_sum_is_consistent_with_whole() {
+        // Summing the k splits must reproduce the whole matrix's column
+        // histogram — they are literally its columns.
+        let k = 4;
+        let ms = generate_collection(Pattern::Er, 64, 4, 6, k, 5);
+        let dense: Vec<DenseMatrix<f64>> = ms.iter().map(DenseMatrix::from_csc).collect();
+        let total: f64 = ms.iter().map(|m| m.value_sum()).sum();
+        assert!(total > 0.0);
+        assert_eq!(dense.len(), k);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer columns")]
+    fn split_more_than_columns_panics() {
+        let whole = er(8, 2, 1, 1);
+        let _ = split_columns(&whole, 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the workload generators: bounds, determinism,
+//! canonical form, and the structural contrasts the paper relies on.
+
+use proptest::prelude::*;
+use spk_gen::{er, generate_collection, rmat, Pattern, RmatConfig, RmatParams};
+use spk_sparse::DegreeStats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated entry is in bounds and the matrix is canonical.
+    #[test]
+    fn rmat_respects_bounds_and_form(
+        rows in 1usize..300,
+        cols in 1usize..40,
+        samples in 0usize..400,
+        seed in 0u64..1000,
+        skewed in proptest::bool::ANY,
+    ) {
+        let cfg = RmatConfig {
+            nrows: rows,
+            ncols: cols,
+            samples,
+            params: if skewed { RmatParams::G500 } else { RmatParams::ER },
+            sum_duplicates: true,
+        };
+        let m = rmat(&cfg, seed);
+        prop_assert_eq!(m.shape(), (rows, cols));
+        prop_assert!(m.nnz() <= samples);
+        prop_assert!(m.is_sorted());
+        for (r, c, _) in m.iter() {
+            prop_assert!((r as usize) < rows && (c as usize) < cols);
+        }
+    }
+
+    /// Generation is a pure function of the configuration and seed.
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..500) {
+        let a = er(128, 8, 4, seed);
+        let b = er(128, 8, 4, seed);
+        prop_assert_eq!(a, b);
+        let c = generate_collection(Pattern::Rmat, 128, 4, 4, 3, seed);
+        let d = generate_collection(Pattern::Rmat, 128, 4, 4, 3, seed);
+        prop_assert_eq!(c, d);
+    }
+
+    /// The split protocol conserves entries exactly.
+    #[test]
+    fn split_conserves_nnz(
+        k in 1usize..6,
+        d in 1usize..16,
+        seed in 0u64..200,
+    ) {
+        let mats = generate_collection(Pattern::Er, 256, 8, d, k, seed);
+        prop_assert_eq!(mats.len(), k);
+        let whole = er(256, 8 * k, d, seed);
+        let split_total: usize = mats.iter().map(|m| m.nnz()).sum();
+        prop_assert_eq!(split_total, whole.nnz());
+    }
+}
+
+/// The paper's structural premise: G500 parameters produce visibly more
+/// column skew than ER at identical density.
+#[test]
+fn g500_gini_exceeds_er_gini() {
+    let er_m = rmat(
+        &RmatConfig {
+            nrows: 4096,
+            ncols: 128,
+            samples: 8192,
+            params: RmatParams::ER,
+            sum_duplicates: true,
+        },
+        9,
+    );
+    let g500_m = rmat(
+        &RmatConfig {
+            nrows: 4096,
+            ncols: 128,
+            samples: 8192,
+            params: RmatParams::G500,
+            sum_duplicates: true,
+        },
+        9,
+    );
+    let (ge, gg) = (DegreeStats::of(&er_m).gini, DegreeStats::of(&g500_m).gini);
+    assert!(
+        gg > ge + 0.2,
+        "G500 gini {gg:.3} should clearly exceed ER gini {ge:.3}"
+    );
+}

@@ -1,0 +1,204 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! CSR is the transpose-dual of CSC. The SpKAdd paper notes (§II-A) that
+//! every algorithm applies unchanged to CSR by swapping the roles of rows
+//! and columns; this container exists so downstream systems (and tests) can
+//! exercise that claim via cheap re-interpretation.
+
+use crate::{CooMatrix, CscMatrix, Scalar, SparseError};
+
+/// Sparse matrix in compressed sparse row format.
+///
+/// Storage mirrors [`CscMatrix`]: `rowptr` has `nrows + 1` entries and the
+/// nonzeros of row `i` occupy `rowptr[i] .. rowptr[i+1]` of `colidx`/`values`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T = f64> {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Builds a matrix from raw CSR arrays, validating the structure.
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<u32>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        // Validate by borrowing the CSC checker on the transposed shape.
+        let as_csc = CscMatrix::try_new(ncols, nrows, rowptr, colidx, values)?;
+        let (ncols_, nrows_, rowptr, colidx, values) = as_csc.into_parts();
+        Ok(Self {
+            nrows: nrows_,
+            ncols: ncols_,
+            rowptr,
+            colidx,
+            values,
+        })
+    }
+
+    /// Builds a matrix from raw CSR arrays without validation.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<u32>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(rowptr.len(), nrows + 1);
+        debug_assert_eq!(colidx.len(), *rowptr.last().unwrap_or(&0));
+        Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        *self.rowptr.last().unwrap()
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Column index array.
+    #[inline]
+    pub fn colidx(&self) -> &[u32] {
+        &self.colidx
+    }
+
+    /// Value array.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Row `i` as parallel `(colidx, values)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[T]) {
+        let lo = self.rowptr[i];
+        let hi = self.rowptr[i + 1];
+        (&self.colidx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Reinterprets this CSR matrix as the CSC storage of its transpose —
+    /// zero-copy, O(1).
+    ///
+    /// This is the bridge that lets every column-wise SpKAdd algorithm run
+    /// row-wise: `spkadd(rows)` ≡ `spkadd(csc of the transposes)`.
+    pub fn transpose_as_csc(self) -> CscMatrix<T> {
+        CscMatrix::from_parts(
+            self.ncols,
+            self.nrows,
+            self.rowptr,
+            self.colidx,
+            self.values,
+        )
+    }
+
+    /// Converts to CSC storage of the *same* matrix (O(nnz + ncols)).
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        // self's rows are the columns of the transpose; transposing that
+        // CSC view yields the original matrix in CSC form.
+        let tr = self
+            .clone()
+            .transpose_as_csc();
+        tr.transpose()
+    }
+
+    /// Converts to coordinate format.
+    pub fn to_coo(&self) -> CooMatrix<T> {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                coo.push(i as u32, *c, *v);
+            }
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        // row 0: (0, 1.0), (2, 2.0); row 1: (1, 3.0)
+        CsrMatrix::try_new(
+            2,
+            3,
+            vec![0, 2, 3],
+            vec![0, 2, 1],
+            vec![1.0, 2.0, 3.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 3);
+        let (cols, vals) = m.row(0);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_structure() {
+        assert!(CsrMatrix::<f64>::try_new(2, 3, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::<f64>::try_new(2, 3, vec![0, 1, 1], vec![9], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn to_csc_preserves_entries() {
+        let m = sample();
+        let c = m.to_csc();
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.get(0, 0).unwrap(), 1.0);
+        assert_eq!(c.get(0, 2).unwrap(), 2.0);
+        assert_eq!(c.get(1, 1).unwrap(), 3.0);
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn transpose_as_csc_is_the_transpose() {
+        let m = sample();
+        let t = m.transpose_as_csc();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let m = sample();
+        let coo = m.to_coo();
+        let back = coo.to_csc();
+        assert!(back.approx_eq(&m.to_csc(), 0.0));
+    }
+}

@@ -1,0 +1,281 @@
+//! Doubly compressed sparse column (DCSC) matrices.
+//!
+//! §II-A of the paper notes that the SpKAdd algorithms apply to "doubly
+//! compressed" formats as well. DCSC (Buluç & Gilbert) removes the dense
+//! column-pointer array of CSC and stores only the *non-empty* columns:
+//! the 2D blocks of a distributed SUMMA become hypersparse (`nnz ≪ n`) as
+//! the process count grows, at which point CSC's O(n) column pointer
+//! dominates the memory and iteration cost. This container is the
+//! substrate's answer for that regime; `to_csc`/`from_csc` bridge to the
+//! SpKAdd kernels.
+
+use crate::{CscMatrix, Scalar, SparseError};
+
+/// Sparse matrix storing only non-empty columns.
+///
+/// Storage: `jc[i]` is the column index of the `i`-th non-empty column,
+/// whose entries occupy `cp[i] .. cp[i+1]` of `rowidx`/`values`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcscMatrix<T = f64> {
+    nrows: usize,
+    ncols: usize,
+    jc: Vec<u32>,
+    cp: Vec<usize>,
+    rowidx: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> DcscMatrix<T> {
+    /// Builds from raw DCSC arrays, validating the structure.
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        jc: Vec<u32>,
+        cp: Vec<usize>,
+        rowidx: Vec<u32>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        if cp.len() != jc.len() + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "cp length {} != jc length {} + 1",
+                cp.len(),
+                jc.len()
+            )));
+        }
+        if cp.first() != Some(&0) {
+            return Err(SparseError::InvalidStructure("cp[0] must be 0".into()));
+        }
+        if cp.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SparseError::InvalidStructure(
+                "cp must be strictly increasing (DCSC stores no empty columns)".into(),
+            ));
+        }
+        if jc.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SparseError::InvalidStructure(
+                "jc must be strictly increasing".into(),
+            ));
+        }
+        if let Some(&c) = jc.last() {
+            if c as usize >= ncols {
+                return Err(SparseError::InvalidStructure(format!(
+                    "column index {c} out of bounds for {ncols} columns"
+                )));
+            }
+        }
+        let nnz = *cp.last().unwrap();
+        if rowidx.len() != nnz || values.len() != nnz {
+            return Err(SparseError::InvalidStructure(format!(
+                "array lengths (rowidx {}, values {}) disagree with cp nnz {nnz}",
+                rowidx.len(),
+                values.len()
+            )));
+        }
+        if let Some(&bad) = rowidx.iter().find(|&&r| r as usize >= nrows) {
+            return Err(SparseError::InvalidStructure(format!(
+                "row index {bad} out of bounds for {nrows} rows"
+            )));
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            jc,
+            cp,
+            rowidx,
+            values,
+        })
+    }
+
+    /// Converts from CSC, dropping the empty-column pointers.
+    pub fn from_csc(m: &CscMatrix<T>) -> Self {
+        let mut jc = Vec::new();
+        let mut cp = vec![0usize];
+        let mut rowidx = Vec::with_capacity(m.nnz());
+        let mut values = Vec::with_capacity(m.nnz());
+        for j in 0..m.ncols() {
+            let col = m.col(j);
+            if col.is_empty() {
+                continue;
+            }
+            jc.push(j as u32);
+            rowidx.extend_from_slice(col.rows);
+            values.extend_from_slice(col.vals);
+            cp.push(rowidx.len());
+        }
+        Self {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            jc,
+            cp,
+            rowidx,
+            values,
+        }
+    }
+
+    /// Converts to CSC (re-materializing the dense column pointer).
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        let mut colptr = vec![0usize; self.ncols + 1];
+        for (i, &j) in self.jc.iter().enumerate() {
+            colptr[j as usize + 1] = self.cp[i + 1] - self.cp[i];
+        }
+        for j in 0..self.ncols {
+            colptr[j + 1] += colptr[j];
+        }
+        CscMatrix::from_parts(
+            self.nrows,
+            self.ncols,
+            colptr,
+            self.rowidx.clone(),
+            self.values.clone(),
+        )
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (logical, including empty ones).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        *self.cp.last().unwrap()
+    }
+
+    /// Number of non-empty columns.
+    #[inline]
+    pub fn nzc(&self) -> usize {
+        self.jc.len()
+    }
+
+    /// Looks up column `j`; `None` when the column is empty.
+    pub fn col(&self, j: usize) -> Option<(&[u32], &[T])> {
+        let i = self.jc.binary_search(&(j as u32)).ok()?;
+        let (lo, hi) = (self.cp[i], self.cp[i + 1]);
+        Some((&self.rowidx[lo..hi], &self.values[lo..hi]))
+    }
+
+    /// Iterates `(col, rows, values)` over non-empty columns.
+    pub fn iter_cols(&self) -> impl Iterator<Item = (u32, &[u32], &[T])> + '_ {
+        self.jc.iter().enumerate().map(move |(i, &j)| {
+            let (lo, hi) = (self.cp[i], self.cp[i + 1]);
+            (j, &self.rowidx[lo..hi], &self.values[lo..hi])
+        })
+    }
+
+    /// Heap bytes used by the index structure (excluding values) — the
+    /// quantity DCSC shrinks for hypersparse matrices.
+    pub fn index_bytes(&self) -> usize {
+        self.jc.len() * 4 + self.cp.len() * 8 + self.rowidx.len() * 4
+    }
+
+    /// The corresponding CSC index cost: `(ncols + 1)` pointers plus row
+    /// indices.
+    pub fn csc_index_bytes(&self) -> usize {
+        (self.ncols + 1) * 8 + self.rowidx.len() * 4
+    }
+
+    /// `true` when the matrix is hypersparse (`nnz < ncols`), the regime
+    /// DCSC exists for.
+    pub fn is_hypersparse(&self) -> bool {
+        self.nnz() < self.ncols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hypersparse() -> CscMatrix<f64> {
+        // 3 entries spread over 1000 columns.
+        let mut colptr = vec![0usize; 1001];
+        for j in 0..1000 {
+            colptr[j + 1] = colptr[j]
+                + match j {
+                    7 | 400 | 999 => 1,
+                    _ => 0,
+                };
+        }
+        CscMatrix::try_new(100, 1000, colptr, vec![5, 50, 99], vec![1.0, 2.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_matrix() {
+        let m = hypersparse();
+        let d = DcscMatrix::from_csc(&m);
+        assert_eq!(d.nnz(), 3);
+        assert_eq!(d.nzc(), 3);
+        assert!(d.is_hypersparse());
+        assert!(d.to_csc().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let d = DcscMatrix::from_csc(&hypersparse());
+        let (rows, vals) = d.col(400).unwrap();
+        assert_eq!(rows, &[50]);
+        assert_eq!(vals, &[2.0]);
+        assert!(d.col(3).is_none(), "empty column lookup");
+        assert!(d.col(999).is_some());
+    }
+
+    #[test]
+    fn iter_cols_visits_only_nonempty() {
+        let d = DcscMatrix::from_csc(&hypersparse());
+        let cols: Vec<u32> = d.iter_cols().map(|(j, _, _)| j).collect();
+        assert_eq!(cols, vec![7, 400, 999]);
+    }
+
+    #[test]
+    fn hypersparse_index_is_smaller_than_csc() {
+        let d = DcscMatrix::from_csc(&hypersparse());
+        assert!(
+            d.index_bytes() * 10 < d.csc_index_bytes(),
+            "DCSC index {} should be well under CSC's {}",
+            d.index_bytes(),
+            d.csc_index_bytes()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_structure() {
+        // cp not strictly increasing (an empty stored column).
+        assert!(DcscMatrix::<f64>::try_new(4, 4, vec![1], vec![0, 0], vec![], vec![]).is_err());
+        // jc out of order.
+        assert!(DcscMatrix::<f64>::try_new(
+            4,
+            4,
+            vec![2, 1],
+            vec![0, 1, 2],
+            vec![0, 0],
+            vec![1.0, 1.0]
+        )
+        .is_err());
+        // column index out of range.
+        assert!(
+            DcscMatrix::<f64>::try_new(4, 4, vec![9], vec![0, 1], vec![0], vec![1.0]).is_err()
+        );
+        // row index out of range.
+        assert!(
+            DcscMatrix::<f64>::try_new(4, 4, vec![1], vec![0, 1], vec![9], vec![1.0]).is_err()
+        );
+        // valid minimal case.
+        assert!(
+            DcscMatrix::<f64>::try_new(4, 4, vec![1], vec![0, 1], vec![2], vec![1.0]).is_ok()
+        );
+    }
+
+    #[test]
+    fn dense_matrix_round_trips_too() {
+        let m = CscMatrix::<f64>::identity(8);
+        let d = DcscMatrix::from_csc(&m);
+        assert_eq!(d.nzc(), 8);
+        assert!(!d.is_hypersparse());
+        assert!(d.to_csc().approx_eq(&m, 0.0));
+    }
+}

@@ -1,0 +1,194 @@
+//! A minimal column-major dense matrix.
+//!
+//! The dense bridge is the test oracle of the suite: every SpKAdd algorithm
+//! is checked against `Σ_i dense(A_i)` in the integration tests, so the
+//! oracle must be trivially correct and independent of all sparse kernels.
+
+use crate::{CscMatrix, Scalar, SparseError};
+
+/// Column-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<T = f64> {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> DenseMatrix<T> {
+    /// An all-zero `nrows × ncols` matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![T::default(); nrows * ncols],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[j * self.nrows + i]
+    }
+
+    /// Mutable element at `(i, j)`.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut T {
+        &mut self.data[j * self.nrows + i]
+    }
+
+    /// Materializes a sparse matrix densely (duplicates are summed).
+    pub fn from_csc(m: &CscMatrix<T>) -> Self {
+        let mut d = Self::zeros(m.nrows(), m.ncols());
+        for (r, c, v) in m.iter() {
+            *d.get_mut(r as usize, c as usize) += v;
+        }
+        d
+    }
+
+    /// Adds another dense matrix in place.
+    pub fn add_assign(&mut self, other: &DenseMatrix<T>) -> Result<(), SparseError> {
+        if (self.nrows, self.ncols) != (other.nrows, other.ncols) {
+            return Err(SparseError::DimensionMismatch {
+                expected: (self.nrows, self.ncols),
+                found: (other.nrows, other.ncols),
+                operand: 1,
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+        Ok(())
+    }
+
+    /// Dense matrix product `self · other` (test oracle for SpGEMM).
+    pub fn matmul(&self, other: &DenseMatrix<T>) -> Result<DenseMatrix<T>, SparseError> {
+        if self.ncols != other.nrows {
+            return Err(SparseError::ProductMismatch {
+                lhs_cols: self.ncols,
+                rhs_rows: other.nrows,
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
+        for j in 0..other.ncols {
+            for l in 0..self.ncols {
+                let b = other.get(l, j);
+                if b.is_zero() {
+                    continue;
+                }
+                for i in 0..self.nrows {
+                    *out.get_mut(i, j) += self.get(i, l) * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Converts to canonical CSC, dropping exact zeros.
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        let mut colptr = Vec::with_capacity(self.ncols + 1);
+        colptr.push(0usize);
+        let mut rowidx = Vec::new();
+        let mut values = Vec::new();
+        for j in 0..self.ncols {
+            for i in 0..self.nrows {
+                let v = self.get(i, j);
+                if !v.is_zero() {
+                    rowidx.push(i as u32);
+                    values.push(v);
+                }
+            }
+            colptr.push(rowidx.len());
+        }
+        CscMatrix::from_parts(self.nrows, self.ncols, colptr, rowidx, values)
+    }
+
+    /// Maximum absolute difference against another dense matrix.
+    pub fn max_abs_diff(&self, other: &DenseMatrix<T>) -> f64 {
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_csc_and_back() {
+        let m = CscMatrix::try_new(3, 2, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
+            .unwrap();
+        let d = DenseMatrix::from_csc(&m);
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(2, 0), 2.0);
+        assert_eq!(d.get(1, 1), 3.0);
+        assert_eq!(d.get(1, 0), 0.0);
+        let back = d.to_csc();
+        assert!(back.approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn from_csc_sums_duplicates() {
+        let m = CscMatrix::try_new(2, 1, vec![0, 2], vec![0, 0], vec![1.5, 2.5]).unwrap();
+        let d = DenseMatrix::from_csc(&m);
+        assert_eq!(d.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn add_assign_matches_elementwise() {
+        let mut a = DenseMatrix::<f64>::zeros(2, 2);
+        *a.get_mut(0, 0) = 1.0;
+        let mut b = DenseMatrix::<f64>::zeros(2, 2);
+        *b.get_mut(0, 0) = 2.0;
+        *b.get_mut(1, 1) = 3.0;
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(1, 1), 3.0);
+        let c = DenseMatrix::<f64>::zeros(3, 2);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn matmul_small() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let mut a = DenseMatrix::<f64>::zeros(2, 2);
+        *a.get_mut(0, 0) = 1.0;
+        *a.get_mut(0, 1) = 2.0;
+        *a.get_mut(1, 0) = 3.0;
+        *a.get_mut(1, 1) = 4.0;
+        let mut b = DenseMatrix::<f64>::zeros(2, 2);
+        *b.get_mut(0, 0) = 5.0;
+        *b.get_mut(0, 1) = 6.0;
+        *b.get_mut(1, 0) = 7.0;
+        *b.get_mut(1, 1) = 8.0;
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+        assert!(a.matmul(&DenseMatrix::<f64>::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_detects_deviation() {
+        let a = DenseMatrix::<f64>::zeros(2, 2);
+        let mut b = DenseMatrix::<f64>::zeros(2, 2);
+        *b.get_mut(1, 0) = -0.25;
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+}

@@ -1,0 +1,121 @@
+//! Error types shared across the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced by sparse-matrix construction, validation, and I/O.
+#[derive(Debug)]
+pub enum SparseError {
+    /// Two operands of an element-wise operation disagree on shape.
+    DimensionMismatch {
+        /// Shape of the first operand.
+        expected: (usize, usize),
+        /// Shape of the offending operand.
+        found: (usize, usize),
+        /// Index of the offending operand in the input collection.
+        operand: usize,
+    },
+    /// Inner dimensions of a product disagree (`A.ncols != B.nrows`).
+    ProductMismatch {
+        /// Number of columns of the left operand.
+        lhs_cols: usize,
+        /// Number of rows of the right operand.
+        rhs_rows: usize,
+    },
+    /// An operation over a collection received zero matrices.
+    EmptyCollection,
+    /// The raw arrays do not form a valid matrix (reason in the payload).
+    InvalidStructure(String),
+    /// An index exceeds the matrix shape.
+    IndexOutOfBounds {
+        /// The offending (row, col) pair.
+        index: (usize, usize),
+        /// The matrix shape.
+        shape: (usize, usize),
+    },
+    /// Underlying I/O failure while reading or writing a matrix file.
+    Io(std::io::Error),
+    /// A matrix file could not be parsed (reason in the payload).
+    Parse(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch {
+                expected,
+                found,
+                operand,
+            } => write!(
+                f,
+                "operand {operand} has shape {}x{}, expected {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            SparseError::ProductMismatch { lhs_cols, rhs_rows } => write!(
+                f,
+                "product inner dimensions disagree: lhs has {lhs_cols} columns, rhs has {rhs_rows} rows"
+            ),
+            SparseError::EmptyCollection => write!(f, "operation requires at least one matrix"),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            SparseError::Io(e) => write!(f, "I/O error: {e}"),
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::DimensionMismatch {
+            expected: (2, 3),
+            found: (4, 5),
+            operand: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("operand 7"));
+        assert!(s.contains("4x5"));
+        assert!(s.contains("2x3"));
+
+        let e = SparseError::ProductMismatch {
+            lhs_cols: 3,
+            rhs_rows: 4,
+        };
+        assert!(e.to_string().contains("3"));
+
+        let e = SparseError::IndexOutOfBounds {
+            index: (9, 9),
+            shape: (2, 2),
+        };
+        assert!(e.to_string().contains("(9, 9)"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: SparseError = io.into();
+        assert!(e.source().is_some());
+    }
+}

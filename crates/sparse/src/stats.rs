@@ -1,0 +1,181 @@
+//! Structural statistics of sparse matrices and collections.
+//!
+//! The SpKAdd algorithms' relative performance is governed by a handful
+//! of structural quantities — per-column density `d`, skew, and the
+//! collection's compression factor `cf` (§II-A, §III-A). This module
+//! computes them so harnesses and users can report *what* they ran on,
+//! and the auto-tuner can reason about inputs.
+
+use crate::{CscMatrix, Scalar};
+
+/// Summary statistics of one matrix's column-degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Number of columns.
+    pub ncols: usize,
+    /// Total stored entries.
+    pub nnz: usize,
+    /// Minimum column degree.
+    pub min: usize,
+    /// Maximum column degree.
+    pub max: usize,
+    /// Mean column degree.
+    pub mean: f64,
+    /// Standard deviation of the column degrees.
+    pub std_dev: f64,
+    /// Fraction of columns with no entries.
+    pub empty_fraction: f64,
+    /// Gini coefficient of the degree distribution — 0 for perfectly
+    /// uniform (ER-like), approaching 1 for extreme skew (RMAT-like).
+    pub gini: f64,
+}
+
+impl DegreeStats {
+    /// Computes column-degree statistics for `m`.
+    pub fn of<T: Scalar>(m: &CscMatrix<T>) -> Self {
+        let n = m.ncols();
+        let mut degrees: Vec<usize> = (0..n).map(|j| m.col_nnz(j)).collect();
+        let nnz = m.nnz();
+        let min = degrees.iter().copied().min().unwrap_or(0);
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let mean = if n == 0 { 0.0 } else { nnz as f64 / n as f64 };
+        let var = if n == 0 {
+            0.0
+        } else {
+            degrees
+                .iter()
+                .map(|&d| (d as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n as f64
+        };
+        let empty = degrees.iter().filter(|&&d| d == 0).count();
+        // Gini via the sorted-rank formula.
+        degrees.sort_unstable();
+        let gini = if nnz == 0 || n == 0 {
+            0.0
+        } else {
+            let weighted: f64 = degrees
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * d as f64)
+                .sum();
+            weighted / (n as f64 * nnz as f64)
+        };
+        Self {
+            ncols: n,
+            nnz,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+            empty_fraction: if n == 0 { 0.0 } else { empty as f64 / n as f64 },
+            gini,
+        }
+    }
+}
+
+/// Summary of a SpKAdd input collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionStats {
+    /// Number of matrices.
+    pub k: usize,
+    /// Shared shape.
+    pub shape: (usize, usize),
+    /// Total input entries `Σ nnz(A_i)`.
+    pub total_nnz: usize,
+    /// Entries of the sum `nnz(B)` (pattern union).
+    pub output_nnz: usize,
+    /// Compression factor `Σ nnz / nnz(B)` (§II-A).
+    pub cf: f64,
+    /// Mean input entries per output column — the paper's `d·k`.
+    pub mean_input_per_col: f64,
+    /// Maximum input entries in any single output column (load-balance
+    /// hazard indicator, §III-A).
+    pub max_input_per_col: usize,
+}
+
+impl CollectionStats {
+    /// Computes collection statistics (exact union via per-column merge).
+    pub fn of<T: Scalar>(mats: &[&CscMatrix<T>]) -> Self {
+        assert!(!mats.is_empty(), "collection must be non-empty");
+        let shape = (mats[0].nrows(), mats[0].ncols());
+        let n = shape.1;
+        let total: usize = mats.iter().map(|m| m.nnz()).sum();
+        let mut union = 0usize;
+        let mut max_in = 0usize;
+        let mut rows_buf: Vec<u32> = Vec::new();
+        for j in 0..n {
+            rows_buf.clear();
+            for m in mats {
+                rows_buf.extend_from_slice(m.col(j).rows);
+            }
+            max_in = max_in.max(rows_buf.len());
+            rows_buf.sort_unstable();
+            rows_buf.dedup();
+            union += rows_buf.len();
+        }
+        Self {
+            k: mats.len(),
+            shape,
+            total_nnz: total,
+            output_nnz: union,
+            cf: if union == 0 {
+                1.0
+            } else {
+                total as f64 / union as f64
+            },
+            mean_input_per_col: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+            max_input_per_col: max_in,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_degrees_have_low_gini() {
+        let m = CscMatrix::<f64>::identity(100);
+        let s = DegreeStats::of(&m);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.empty_fraction, 0.0);
+        assert!(s.gini.abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_degrees_have_high_gini() {
+        // One column holds everything.
+        let mut colptr = vec![0usize; 101];
+        colptr[1..].fill(50);
+        let m =
+            CscMatrix::try_new(64, 100, colptr, (0..50).collect(), vec![1.0; 50]).unwrap();
+        let s = DegreeStats::of(&m);
+        assert_eq!(s.max, 50);
+        assert!(s.gini > 0.9, "gini {} should be near 1", s.gini);
+        assert!(s.empty_fraction > 0.9);
+    }
+
+    #[test]
+    fn collection_stats_compute_cf() {
+        let a = CscMatrix::<f64>::identity(10);
+        let b = CscMatrix::<f64>::identity(10);
+        let s = CollectionStats::of(&[&a, &b]);
+        assert_eq!(s.k, 2);
+        assert_eq!(s.total_nnz, 20);
+        assert_eq!(s.output_nnz, 10, "identical patterns fully overlap");
+        assert!((s.cf - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_input_per_col, 2);
+    }
+
+    #[test]
+    fn empty_collection_stats() {
+        let a = CscMatrix::<f64>::zeros(5, 5);
+        let s = CollectionStats::of(&[&a]);
+        assert_eq!(s.output_nnz, 0);
+        assert_eq!(s.cf, 1.0);
+    }
+}

@@ -1,0 +1,563 @@
+//! # spk-summa — simulated distributed sparse SUMMA SpGEMM
+//!
+//! An in-memory simulation of the distributed sparse SUMMA algorithm with
+//! stationary C (the paper's Fig 5, CombBLAS-style): the input matrices
+//! are 2D-block-distributed over a `q × q` process grid; in stage `s`,
+//! every process row broadcasts its `A(:, s)` block and every process
+//! column its `B(s, :)` block; each process multiplies the received pair
+//! locally; after `q` stages each process reduces its `q` intermediate
+//! products with one **SpKAdd** — the operation whose cost the paper's
+//! Fig 6 attributes an order of magnitude of.
+//!
+//! "Distributed" here means *faithfully phased*, not networked: each
+//! simulated process owns its blocks, stages proceed as in SUMMA,
+//! broadcast volume is accounted in bytes, and the two computational
+//! phases (local multiply, SpKAdd) are timed separately — which is
+//! exactly what Fig 6 reports ("excluding the communication costs").
+//! See DESIGN.md, substitution 2.
+
+use spk_sparse::{CooMatrix, CscMatrix, SparseError};
+use spkadd::{Algorithm, Options, SpkaddError};
+use spk_spgemm::{spgemm_hash, SpgemmOptions};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Which SpKAdd variant reduces the per-process intermediates, matching
+/// the three bars of Fig 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionKind {
+    /// Heap SpKAdd over *sorted* intermediates — the CombBLAS incumbent.
+    Heap,
+    /// Hash SpKAdd over sorted intermediates.
+    SortedHash,
+    /// Hash SpKAdd over *unsorted* intermediates: the local multiplies
+    /// skip their per-column sort (the ~20% multiply saving of Fig 6).
+    UnsortedHash,
+}
+
+impl ReductionKind {
+    /// Display name matching Fig 6's x-axis.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReductionKind::Heap => "Heap",
+            ReductionKind::SortedHash => "Sorted Hash",
+            ReductionKind::UnsortedHash => "Unsorted Hash",
+        }
+    }
+
+    /// Whether the local multiplies must emit sorted columns.
+    pub fn multiply_sorted(&self) -> bool {
+        !matches!(self, ReductionKind::UnsortedHash)
+    }
+
+    /// The SpKAdd algorithm used for the reduction.
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            ReductionKind::Heap => Algorithm::Heap,
+            _ => Algorithm::Hash,
+        }
+    }
+}
+
+/// Configuration of a simulated SUMMA run.
+#[derive(Debug, Clone)]
+pub struct SummaConfig {
+    /// Process-grid side; the run simulates `grid²` processes and `grid`
+    /// broadcast stages, so each process reduces `k = grid` intermediates.
+    pub grid: usize,
+    /// The reduction variant (Fig 6's compared configurations).
+    pub reduction: ReductionKind,
+    /// Worker threads for the whole simulation; 0 = ambient pool.
+    pub threads: usize,
+}
+
+impl Default for SummaConfig {
+    fn default() -> Self {
+        Self {
+            grid: 4,
+            reduction: ReductionKind::SortedHash,
+            threads: 0,
+        }
+    }
+}
+
+/// Per-process phase timings (seconds).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcessTiming {
+    /// Total local-multiply time across all stages.
+    pub multiply: f64,
+    /// SpKAdd reduction time.
+    pub spkadd: f64,
+}
+
+/// Outcome of a simulated SUMMA run.
+#[derive(Debug)]
+pub struct SummaReport {
+    /// The assembled global product.
+    pub result: CscMatrix<f64>,
+    /// Per-process timings, indexed `i * grid + j`.
+    pub per_process: Vec<ProcessTiming>,
+    /// Simulated broadcast volume in bytes (A and B blocks, `q−1`
+    /// receivers each).
+    pub bytes_broadcast: u64,
+    /// Grid side used.
+    pub grid: usize,
+}
+
+impl SummaReport {
+    /// Sum of local-multiply time over all processes (Fig 6's stacked
+    /// "Local Multiply" segment).
+    pub fn multiply_total(&self) -> f64 {
+        self.per_process.iter().map(|t| t.multiply).sum()
+    }
+
+    /// Sum of SpKAdd time over all processes (Fig 6's "SpKAdd" segment).
+    pub fn spkadd_total(&self) -> f64 {
+        self.per_process.iter().map(|t| t.spkadd).sum()
+    }
+
+    /// Critical-path (max over processes) multiply time.
+    pub fn multiply_max(&self) -> f64 {
+        self.per_process.iter().map(|t| t.multiply).fold(0.0, f64::max)
+    }
+
+    /// Critical-path SpKAdd time.
+    pub fn spkadd_max(&self) -> f64 {
+        self.per_process.iter().map(|t| t.spkadd).fold(0.0, f64::max)
+    }
+}
+
+/// Errors from the SUMMA simulator.
+#[derive(Debug)]
+pub enum SummaError {
+    /// Structural problem from the sparse substrate.
+    Sparse(SparseError),
+    /// Reduction failure from the SpKAdd layer.
+    Spkadd(SpkaddError),
+    /// Invalid configuration (reason in payload).
+    Config(String),
+}
+
+impl std::fmt::Display for SummaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SummaError::Sparse(e) => write!(f, "{e}"),
+            SummaError::Spkadd(e) => write!(f, "{e}"),
+            SummaError::Config(msg) => write!(f, "invalid SUMMA config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SummaError {}
+
+impl From<SparseError> for SummaError {
+    fn from(e: SparseError) -> Self {
+        SummaError::Sparse(e)
+    }
+}
+
+impl From<SpkaddError> for SummaError {
+    fn from(e: SpkaddError) -> Self {
+        SummaError::Spkadd(e)
+    }
+}
+
+/// Approximate wire size of a CSC block: 12 bytes per nonzero (u32 row +
+/// f64 value) plus the column pointer array.
+pub fn csc_wire_bytes(m: &CscMatrix<f64>) -> u64 {
+    (m.nnz() * 12 + (m.ncols() + 1) * 8) as u64
+}
+
+/// Block boundary `i` of `parts` over an extent of `len`.
+fn bound(i: usize, parts: usize, len: usize) -> usize {
+    i * len / parts
+}
+
+/// Runs the simulated SUMMA product `C = A·B`.
+pub fn run_summa(
+    a: &CscMatrix<f64>,
+    b: &CscMatrix<f64>,
+    cfg: &SummaConfig,
+) -> Result<SummaReport, SummaError> {
+    if a.ncols() != b.nrows() {
+        return Err(SummaError::Sparse(SparseError::ProductMismatch {
+            lhs_cols: a.ncols(),
+            rhs_rows: b.nrows(),
+        }));
+    }
+    let q = cfg.grid;
+    if q == 0 {
+        return Err(SummaError::Config("grid side must be ≥ 1".into()));
+    }
+    if a.nrows() < q || a.ncols() < q || b.ncols() < q {
+        return Err(SummaError::Config(format!(
+            "matrix dimensions ({}x{} · {}x{}) too small for a {q}x{q} grid",
+            a.nrows(),
+            a.ncols(),
+            b.nrows(),
+            b.ncols()
+        )));
+    }
+
+    let (m, kk) = a.shape();
+    let n = b.ncols();
+
+    let run = || -> Result<SummaReport, SummaError> {
+        // 2D block distribution.
+        let a_blocks: Vec<Vec<CscMatrix<f64>>> = (0..q)
+            .into_par_iter()
+            .map(|i| {
+                let rows = a.slice_rows(bound(i, q, m), bound(i + 1, q, m));
+                (0..q)
+                    .map(|l| rows.slice_cols(bound(l, q, kk), bound(l + 1, q, kk)))
+                    .collect()
+            })
+            .collect();
+        let b_blocks: Vec<Vec<CscMatrix<f64>>> = (0..q)
+            .into_par_iter()
+            .map(|l| {
+                let rows = b.slice_rows(bound(l, q, kk), bound(l + 1, q, kk));
+                (0..q)
+                    .map(|j| rows.slice_cols(bound(j, q, n), bound(j + 1, q, n)))
+                    .collect()
+            })
+            .collect();
+
+        // Simulated broadcast volume: in stage s, A(i,s) goes to q−1 row
+        // peers and B(s,j) to q−1 column peers.
+        let mut bytes = 0u64;
+        for s in 0..q {
+            for row in &a_blocks {
+                bytes += csc_wire_bytes(&row[s]) * (q as u64 - 1);
+            }
+            for blk in &b_blocks[s] {
+                bytes += csc_wire_bytes(blk) * (q as u64 - 1);
+            }
+        }
+
+        let mul_opts = SpgemmOptions {
+            sorted_output: cfg.reduction.multiply_sorted(),
+            threads: 0,
+            scheduling: Default::default(),
+        };
+        let mut add_opts = Options::default();
+        add_opts.sorted_output = true;
+        // Sortedness of the intermediates is known by construction.
+        add_opts.validate_sorted = false;
+        let alg = cfg.reduction.algorithm();
+        if alg == Algorithm::Heap && !cfg.reduction.multiply_sorted() {
+            return Err(SummaError::Config(
+                "heap reduction requires sorted intermediates".into(),
+            ));
+        }
+
+        // Each process: q local multiplies (one per stage), then SpKAdd.
+        let outcomes: Result<Vec<(usize, CscMatrix<f64>, ProcessTiming)>, SummaError> = (0..q * q)
+            .into_par_iter()
+            .map(|pid| {
+                let (i, j) = (pid / q, pid % q);
+                let mut timing = ProcessTiming::default();
+                let mut partials: Vec<CscMatrix<f64>> = Vec::with_capacity(q);
+                for s in 0..q {
+                    let t0 = Instant::now();
+                    let c = spgemm_hash(&a_blocks[i][s], &b_blocks[s][j], &mul_opts)?;
+                    timing.multiply += t0.elapsed().as_secs_f64();
+                    partials.push(c);
+                }
+                let refs: Vec<&CscMatrix<f64>> = partials.iter().collect();
+                let t0 = Instant::now();
+                let block = spkadd::spkadd_with(&refs, alg, &add_opts)?;
+                timing.spkadd += t0.elapsed().as_secs_f64();
+                Ok((pid, block, timing))
+            })
+            .collect();
+        let mut outcomes = outcomes?;
+        outcomes.sort_by_key(|(pid, _, _)| *pid);
+
+        // Reassemble the global product.
+        let total_nnz: usize = outcomes.iter().map(|(_, b, _)| b.nnz()).sum();
+        let mut coo = CooMatrix::with_capacity(m, n, total_nnz);
+        let mut per_process = vec![ProcessTiming::default(); q * q];
+        for (pid, block, timing) in &outcomes {
+            let (i, j) = (pid / q, pid % q);
+            let (r_off, c_off) = (bound(i, q, m) as u32, bound(j, q, n) as u32);
+            for (r, c, v) in block.iter() {
+                coo.push(r + r_off, c + c_off, v);
+            }
+            per_process[*pid] = *timing;
+        }
+        let result = coo.to_csc_sum_duplicates();
+
+        Ok(SummaReport {
+            result,
+            per_process,
+            bytes_broadcast: bytes,
+            grid: q,
+        })
+    };
+    spkadd::parallel::run_with_threads(cfg.threads, run)
+}
+
+/// Outcome of a 3D (communication-avoiding) SUMMA run: the paper's intro
+/// notes these algorithms "utilize SpKAdd at two different phases: one
+/// within each 2D grid of the overall 3D process grid and another when
+/// reducing results across different 2D grids".
+#[derive(Debug)]
+pub struct Summa3dReport {
+    /// The assembled global product.
+    pub result: CscMatrix<f64>,
+    /// Seconds in local multiplies, summed over all processes and layers.
+    pub multiply_total: f64,
+    /// Seconds in the *intra-layer* SpKAdd (phase one), summed.
+    pub spkadd_intra_total: f64,
+    /// Seconds in the *inter-layer* SpKAdd (phase two), summed.
+    pub spkadd_inter_total: f64,
+    /// Simulated broadcast volume across all layers, bytes.
+    pub bytes_broadcast: u64,
+}
+
+/// Runs a 3D sparse SUMMA: the inner dimension is split across `layers`
+/// replicated 2D grids; each layer runs a `grid × grid` 2D SUMMA over its
+/// slab (intra-layer SpKAdd), then corresponding processes across layers
+/// reduce their C blocks (inter-layer SpKAdd). With `layers = 1` this
+/// degenerates to [`run_summa`].
+pub fn run_summa_3d(
+    a: &CscMatrix<f64>,
+    b: &CscMatrix<f64>,
+    cfg: &SummaConfig,
+    layers: usize,
+) -> Result<Summa3dReport, SummaError> {
+    if layers == 0 {
+        return Err(SummaError::Config("layer count must be ≥ 1".into()));
+    }
+    let kk = a.ncols();
+    if kk != b.nrows() {
+        return Err(SummaError::Sparse(SparseError::ProductMismatch {
+            lhs_cols: a.ncols(),
+            rhs_rows: b.nrows(),
+        }));
+    }
+    if kk < layers * cfg.grid.max(1) {
+        return Err(SummaError::Config(format!(
+            "inner dimension {kk} too small for {layers} layers of a {}x{} grid",
+            cfg.grid, cfg.grid
+        )));
+    }
+    // Phase 1: each layer multiplies its inner slab with a 2D SUMMA.
+    let mut layer_reports = Vec::with_capacity(layers);
+    for l in 0..layers {
+        let k1 = bound(l, layers, kk);
+        let k2 = bound(l + 1, layers, kk);
+        let a_slab = a.slice_cols(k1, k2);
+        let b_slab = b.slice_rows(k1, k2);
+        layer_reports.push(run_summa(&a_slab, &b_slab, cfg)?);
+    }
+    let multiply_total = layer_reports.iter().map(|r| r.multiply_total()).sum();
+    let spkadd_intra_total = layer_reports.iter().map(|r| r.spkadd_total()).sum();
+    let bytes_broadcast = layer_reports.iter().map(|r| r.bytes_broadcast).sum();
+
+    // Phase 2: reduce the c layer products (the cross-grid SpKAdd). In a
+    // real machine this happens blockwise per process; numerically the
+    // blockwise reduction is exactly the SpKAdd of the layer products.
+    let partials: Vec<CscMatrix<f64>> =
+        layer_reports.into_iter().map(|r| r.result).collect();
+    let refs: Vec<&CscMatrix<f64>> = partials.iter().collect();
+    let mut add_opts = Options::default();
+    add_opts.validate_sorted = false;
+    add_opts.threads = cfg.threads;
+    let t0 = Instant::now();
+    let result = spkadd::spkadd_with(&refs, cfg.reduction.algorithm(), &add_opts)?;
+    let spkadd_inter_total = t0.elapsed().as_secs_f64();
+
+    Ok(Summa3dReport {
+        result,
+        multiply_total,
+        spkadd_intra_total,
+        spkadd_inter_total,
+        bytes_broadcast,
+    })
+}
+
+/// Collects the intermediate products one process would reduce — the
+/// "SpGEMM intermediate matrices" workload of Fig 3(c) and Fig 4(d),
+/// without running the whole grid. Returns the `q` partial products of
+/// process (0, 0).
+pub fn process_intermediates(
+    a: &CscMatrix<f64>,
+    b: &CscMatrix<f64>,
+    q: usize,
+    sorted: bool,
+) -> Result<Vec<CscMatrix<f64>>, SummaError> {
+    if a.ncols() != b.nrows() {
+        return Err(SummaError::Sparse(SparseError::ProductMismatch {
+            lhs_cols: a.ncols(),
+            rhs_rows: b.nrows(),
+        }));
+    }
+    let (m, kk) = a.shape();
+    let n = b.ncols();
+    let a_row = a.slice_rows(0, bound(1, q, m));
+    let b_col = b.slice_cols(0, bound(1, q, n));
+    let opts = SpgemmOptions {
+        sorted_output: sorted,
+        ..Default::default()
+    };
+    (0..q)
+        .map(|s| {
+            let a_blk = a_row.slice_cols(bound(s, q, kk), bound(s + 1, q, kk));
+            let b_blk = b_col.slice_rows(bound(s, q, kk), bound(s + 1, q, kk));
+            spgemm_hash(&a_blk, &b_blk, &opts).map_err(SummaError::from)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spk_sparse::DenseMatrix;
+
+    fn inputs() -> (CscMatrix<f64>, CscMatrix<f64>) {
+        let a = spk_gen::er(48, 40, 3, 100);
+        let b = spk_gen::er(40, 32, 3, 101);
+        (a, b)
+    }
+
+    #[test]
+    fn summa_matches_direct_product_for_all_reductions() {
+        let (a, b) = inputs();
+        let direct = spgemm_hash(&a, &b, &SpgemmOptions::default()).unwrap();
+        for reduction in [
+            ReductionKind::Heap,
+            ReductionKind::SortedHash,
+            ReductionKind::UnsortedHash,
+        ] {
+            let report = run_summa(
+                &a,
+                &b,
+                &SummaConfig {
+                    grid: 4,
+                    reduction,
+                    threads: 0,
+                },
+            )
+            .unwrap();
+            assert!(
+                report.result.approx_eq(&direct, 1e-9),
+                "{} reduction produced a wrong product",
+                reduction.name()
+            );
+            assert_eq!(report.per_process.len(), 16);
+            assert!(report.bytes_broadcast > 0);
+        }
+    }
+
+    #[test]
+    fn grid_one_degenerates_to_local_multiply() {
+        let (a, b) = inputs();
+        let direct = spgemm_hash(&a, &b, &SpgemmOptions::default()).unwrap();
+        let report = run_summa(
+            &a,
+            &b,
+            &SummaConfig {
+                grid: 1,
+                reduction: ReductionKind::SortedHash,
+                threads: 0,
+            },
+        )
+        .unwrap();
+        assert!(report.result.approx_eq(&direct, 1e-9));
+        assert_eq!(report.bytes_broadcast, 0, "no peers to broadcast to");
+    }
+
+    #[test]
+    fn config_validation() {
+        let (a, b) = inputs();
+        assert!(matches!(
+            run_summa(&a, &b, &SummaConfig { grid: 0, ..Default::default() }),
+            Err(SummaError::Config(_))
+        ));
+        let tiny = CscMatrix::<f64>::identity(2);
+        assert!(run_summa(&tiny, &tiny, &SummaConfig { grid: 8, ..Default::default() }).is_err());
+        let bad = CscMatrix::<f64>::zeros(7, 7);
+        assert!(run_summa(&a, &bad, &SummaConfig::default()).is_err());
+    }
+
+    #[test]
+    fn intermediates_sum_to_process_block() {
+        let (a, b) = inputs();
+        let q = 4;
+        let parts = process_intermediates(&a, &b, q, true).unwrap();
+        assert_eq!(parts.len(), q);
+        let refs: Vec<&CscMatrix<f64>> = parts.iter().collect();
+        let summed =
+            spkadd::spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+        // Compare against block (0,0) of the full product.
+        let direct = spgemm_hash(&a, &b, &SpgemmOptions::default()).unwrap();
+        let block = direct
+            .slice_rows(0, a.nrows() / q)
+            .slice_cols(0, b.ncols() / q);
+        assert!(
+            DenseMatrix::from_csc(&summed).max_abs_diff(&DenseMatrix::from_csc(&block)) < 1e-9
+        );
+    }
+
+    #[test]
+    fn unsorted_intermediates_are_actually_unsorted_sometimes() {
+        let (a, b) = inputs();
+        let parts = process_intermediates(&a, &b, 2, false).unwrap();
+        // With hash emission in first-touch order, at least one multi-entry
+        // column is overwhelmingly likely to be unsorted.
+        let any_unsorted = parts.iter().any(|p| !p.is_sorted());
+        let has_multi = parts
+            .iter()
+            .any(|p| (0..p.ncols()).any(|j| p.col_nnz(j) > 1));
+        assert!(!has_multi || any_unsorted || parts.iter().all(|p| p.nnz() < 4));
+    }
+
+    #[test]
+    fn summa_3d_matches_2d_and_direct() {
+        let (a, b) = inputs();
+        let direct = spgemm_hash(&a, &b, &SpgemmOptions::default()).unwrap();
+        for layers in [1usize, 2, 4] {
+            let report = run_summa_3d(
+                &a,
+                &b,
+                &SummaConfig {
+                    grid: 2,
+                    reduction: ReductionKind::SortedHash,
+                    threads: 0,
+                },
+                layers,
+            )
+            .unwrap();
+            assert!(
+                report.result.approx_eq(&direct, 1e-9),
+                "{layers}-layer 3D SUMMA diverged"
+            );
+            assert!(report.multiply_total > 0.0);
+            if layers > 1 {
+                assert!(report.spkadd_inter_total > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn summa_3d_validates_config() {
+        let (a, b) = inputs();
+        assert!(matches!(
+            run_summa_3d(&a, &b, &SummaConfig::default(), 0),
+            Err(SummaError::Config(_))
+        ));
+        // 40-wide inner dimension cannot host 32 layers of a 4x4 grid.
+        assert!(run_summa_3d(&a, &b, &SummaConfig::default(), 32).is_err());
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let (a, b) = inputs();
+        let report = run_summa(&a, &b, &SummaConfig::default()).unwrap();
+        assert!(report.multiply_total() >= report.multiply_max());
+        assert!(report.spkadd_total() >= report.spkadd_max());
+        assert!(report.multiply_total() > 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Sparse all-reduce of gradient updates — the deep-learning motivation
+//! from the paper's introduction.
+//!
+//! Each of `k` workers produces a sparsified gradient for a weight matrix
+//! (top-c magnitudes per column, the "algorithmic sparsification" the
+//! paper cites). The in-node reduction of those k sparse matrices is
+//! exactly SpKAdd; this example compares the naive incremental reduction
+//! against the hash algorithm and reports the compression factor typical
+//! of overlapping gradient supports.
+//!
+//! ```text
+//! cargo run --release --example gradient_aggregation
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spkadd_suite::sparse::{CooMatrix, CscMatrix};
+use spkadd_suite::{spkadd_with, Algorithm, Options};
+
+/// One worker's sparsified gradient: for every column (output neuron),
+/// keep `c` large entries; hot rows (popular features) overlap across
+/// workers.
+fn worker_gradient(rows: usize, cols: usize, c: usize, hot: usize, seed: u64) -> CscMatrix<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(rows, cols, c * cols);
+    for j in 0..cols {
+        for _ in 0..c {
+            // 70% of kept entries hit the shared hot set: workers agree on
+            // which features matter, so supports overlap (cf > 1).
+            let r = if rng.gen::<f64>() < 0.7 {
+                rng.gen_range(0..hot as u32)
+            } else {
+                rng.gen_range(hot as u32..rows as u32)
+            };
+            coo.push(r, j as u32, rng.gen_range(-1.0..1.0));
+        }
+    }
+    coo.to_csc_sum_duplicates()
+}
+
+fn main() {
+    let (rows, cols) = (1 << 17, 256); // a 131k × 256 weight matrix
+    let (k, c, hot) = (64, 32, 4096); // 64 workers, top-32 per column
+    let grads: Vec<CscMatrix<f64>> = (0..k)
+        .map(|w| worker_gradient(rows, cols, c, hot, 1000 + w as u64))
+        .collect();
+    let refs: Vec<&CscMatrix<f64>> = grads.iter().collect();
+    let total_in: usize = grads.iter().map(|g| g.nnz()).sum();
+    println!("aggregating k={k} worker gradients, {total_in} total update entries");
+
+    let opts = Options::default();
+
+    let t = std::time::Instant::now();
+    let inc =
+        spkadd_with(&refs, Algorithm::TwoWayIncremental, &opts).expect("incremental failed");
+    let t_inc = t.elapsed().as_secs_f64();
+
+    let t = std::time::Instant::now();
+    let hash = spkadd_with(&refs, Algorithm::Hash, &opts).expect("hash failed");
+    let t_hash = t.elapsed().as_secs_f64();
+
+    assert!(inc.approx_eq(&hash, 1e-9));
+    println!(
+        "aggregated gradient: {} nnz, compression factor {:.1}",
+        hash.nnz(),
+        total_in as f64 / hash.nnz() as f64
+    );
+    println!("2-way incremental: {:.1} ms", t_inc * 1e3);
+    println!(
+        "hash SpKAdd:       {:.1} ms  ({:.1}x faster)",
+        t_hash * 1e3,
+        t_inc / t_hash
+    );
+    // Apply the aggregated update (averaging across workers), as the
+    // optimizer step would.
+    let mut update = hash;
+    update.scale(1.0 / k as f64);
+    println!("mean update norm ≈ {:.3}", update.value_sum().abs());
+}

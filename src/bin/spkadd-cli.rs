@@ -1,0 +1,196 @@
+//! `spkadd-cli` — add a collection of Matrix Market files from the shell.
+//!
+//! ```text
+//! # add three matrices with the hash algorithm and write the sum:
+//! spkadd-cli add --algorithm hash --out sum.mtx a.mtx b.mtx c.mtx
+//!
+//! # inspect a collection without adding it:
+//! spkadd-cli stats a.mtx b.mtx c.mtx
+//!
+//! # generate a test collection (ER or RMAT splits) into a directory:
+//! spkadd-cli gen --pattern rmat --rows 65536 --cols 64 --d 32 --k 8 --out-dir /tmp/mats
+//! ```
+
+use spkadd_suite::gen::{generate_collection, Pattern};
+use spkadd_suite::kadd::{spkadd_with, Algorithm, Options};
+use spkadd_suite::sparse::{io, CollectionStats, CscMatrix, DegreeStats};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "add" => cmd_add(rest),
+        "stats" => cmd_stats(rest),
+        "gen" => cmd_gen(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+spkadd-cli — SpKAdd over Matrix Market files
+
+USAGE:
+  spkadd-cli add  [--algorithm NAME] [--out FILE] [--unsorted] FILES...
+  spkadd-cli stats FILES...
+  spkadd-cli gen  [--pattern er|rmat] [--rows R] [--cols C] [--d D] [--k K]
+                  [--seed S] --out-dir DIR
+
+Algorithms: hash (default), sliding-hash, spa, sliding-spa, heap,
+            2way-tree, 2way-incremental, auto";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    // Everything not part of a --flag pair and not a bare flag.
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Flags with values; bare flags are enumerated explicitly.
+            skip = !matches!(a.as_str(), "--unsorted");
+            let _ = i;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn parse_algorithm(name: &str) -> Result<Option<Algorithm>, String> {
+    Ok(Some(match name {
+        "hash" => Algorithm::Hash,
+        "sliding-hash" => Algorithm::SlidingHash,
+        "spa" => Algorithm::Spa,
+        "sliding-spa" => Algorithm::SlidingSpa,
+        "heap" => Algorithm::Heap,
+        "2way-tree" => Algorithm::TwoWayTree,
+        "2way-incremental" => Algorithm::TwoWayIncremental,
+        "auto" => return Ok(None),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    }))
+}
+
+fn load_all(paths: &[&String]) -> Result<Vec<CscMatrix<f64>>, String> {
+    if paths.is_empty() {
+        return Err("no input files given".into());
+    }
+    paths
+        .iter()
+        .map(|p| {
+            io::read_matrix_market(p)
+                .map(|coo| coo.to_csc_sum_duplicates())
+                .map_err(|e| format!("{p}: {e}"))
+        })
+        .collect()
+}
+
+fn cmd_add(args: &[String]) -> Result<(), String> {
+    let alg = parse_algorithm(flag_value(args, "--algorithm").unwrap_or("hash"))?;
+    let out = flag_value(args, "--out");
+    let unsorted = args.iter().any(|a| a == "--unsorted");
+    let mats = load_all(&positional(args))?;
+    let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+
+    let mut opts = Options::default();
+    opts.sorted_output = !unsorted;
+    let t0 = std::time::Instant::now();
+    let sum = match alg {
+        Some(a) => spkadd_with(&refs, a, &opts),
+        None => spkadd_suite::spkadd_auto(&refs, &opts),
+    }
+    .map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+
+    let total: usize = mats.iter().map(|m| m.nnz()).sum();
+    eprintln!(
+        "added k={} matrices ({}x{}, {} input nnz) in {:.3} ms → {} output nnz (cf {:.2})",
+        mats.len(),
+        sum.nrows(),
+        sum.ncols(),
+        total,
+        secs * 1e3,
+        sum.nnz(),
+        total as f64 / sum.nnz().max(1) as f64
+    );
+    match out {
+        Some(path) => io::write_matrix_market(path, &sum).map_err(|e| e.to_string())?,
+        None => io::write_matrix_market_to(std::io::stdout().lock(), &sum)
+            .map_err(|e| e.to_string())?,
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let mats = load_all(&positional(args))?;
+    for (i, m) in mats.iter().enumerate() {
+        let d = DegreeStats::of(m);
+        println!(
+            "matrix {i}: {}x{}, nnz {}, col degree min/mean/max = {}/{:.1}/{}, \
+             gini {:.3}, empty cols {:.1}%",
+            m.nrows(),
+            m.ncols(),
+            d.nnz,
+            d.min,
+            d.mean,
+            d.max,
+            d.gini,
+            d.empty_fraction * 100.0
+        );
+    }
+    if mats.len() > 1 {
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let c = CollectionStats::of(&refs);
+        println!(
+            "collection: k={}, total nnz {}, output nnz {}, cf {:.2}, \
+             max input entries in one column {}",
+            c.k, c.total_nnz, c.output_nnz, c.cf, c.max_input_per_col
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let pattern = match flag_value(args, "--pattern").unwrap_or("er") {
+        "er" => Pattern::Er,
+        "rmat" => Pattern::Rmat,
+        other => return Err(format!("unknown pattern '{other}'")),
+    };
+    let rows: usize = flag_value(args, "--rows").unwrap_or("65536").parse().unwrap_or(65536);
+    let cols: usize = flag_value(args, "--cols").unwrap_or("64").parse().unwrap_or(64);
+    let d: usize = flag_value(args, "--d").unwrap_or("16").parse().unwrap_or(16);
+    let k: usize = flag_value(args, "--k").unwrap_or("4").parse().unwrap_or(4);
+    let seed: u64 = flag_value(args, "--seed").unwrap_or("42").parse().unwrap_or(42);
+    let dir = flag_value(args, "--out-dir").ok_or("missing --out-dir")?;
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let mats = generate_collection(pattern, rows, cols, d, k, seed);
+    for (i, m) in mats.iter().enumerate() {
+        let path = format!("{dir}/mat_{i:03}.mtx");
+        io::write_matrix_market(&path, m).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path} ({} nnz)", m.nnz());
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! # spkadd-suite — facade crate
+//!
+//! Re-exports the whole SpKAdd reproduction workspace behind one dependency:
+//!
+//! * [`sparse`] — CSC/CSR/COO containers and I/O ([`spk_sparse`]);
+//! * [`kadd`] — the SpKAdd algorithms themselves ([`spkadd`]);
+//! * [`gen`] — deterministic workload generators ([`spk_gen`]);
+//! * [`spgemm`] — local sparse matrix-matrix multiply ([`spk_spgemm`]);
+//! * [`summa`] — the simulated distributed sparse SUMMA pipeline
+//!   ([`spk_summa`]);
+//! * [`cachesim`] — the trace-driven cache simulator ([`spk_cachesim`]).
+//!
+//! See `examples/quickstart.rs` for a three-minute tour and DESIGN.md for
+//! the map from paper sections to modules.
+
+pub use spk_cachesim as cachesim;
+pub use spk_gen as gen;
+pub use spk_sparse as sparse;
+pub use spk_spgemm as spgemm;
+pub use spk_summa as summa;
+pub use spkadd as kadd;
+
+/// The most common entry point, re-exported at the top level: add a
+/// collection of CSC matrices with an explicitly chosen algorithm.
+pub use spkadd::{spkadd_with, Algorithm, Options};
+
+/// One-call "do the right thing" API: picks the algorithm with the paper's
+/// Fig 2 heuristics and runs it.
+pub use spkadd::spkadd_auto;

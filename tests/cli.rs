@@ -1,0 +1,105 @@
+//! End-to-end tests of the `spkadd-cli` binary: generate → stats → add →
+//! verify the written sum against the library.
+
+use spkadd_suite::sparse::{io, CscMatrix};
+use spkadd_suite::{spkadd_with, Algorithm, Options};
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spkadd-cli"))
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("spkadd_cli_test_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_stats_add_pipeline() {
+    let dir = tempdir("pipeline");
+    // Generate a small RMAT collection.
+    let status = cli()
+        .args([
+            "gen",
+            "--pattern",
+            "rmat",
+            "--rows",
+            "512",
+            "--cols",
+            "8",
+            "--d",
+            "4",
+            "--k",
+            "3",
+            "--seed",
+            "7",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ])
+        .status()
+        .expect("failed to run cli");
+    assert!(status.success());
+    let files: Vec<String> = (0..3)
+        .map(|i| dir.join(format!("mat_{i:03}.mtx")).to_string_lossy().into_owned())
+        .collect();
+    for f in &files {
+        assert!(std::path::Path::new(f).exists(), "{f} missing");
+    }
+
+    // Stats runs and mentions the collection line.
+    let out = cli().arg("stats").args(&files).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("collection: k=3"), "stats output: {text}");
+
+    // Add and compare against the library result.
+    let sum_path = dir.join("sum.mtx");
+    let status = cli()
+        .args([
+            "add",
+            "--algorithm",
+            "hash",
+            "--out",
+            sum_path.to_str().unwrap(),
+        ])
+        .args(&files)
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let mats: Vec<CscMatrix<f64>> = files
+        .iter()
+        .map(|f| io::read_matrix_market(f).unwrap().to_csc_sum_duplicates())
+        .collect();
+    let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+    let expect = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+    let got = io::read_matrix_market(&sum_path)
+        .unwrap()
+        .to_csc_sum_duplicates();
+    assert!(got.approx_eq(&expect, 1e-9));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_unknown_algorithm_and_missing_files() {
+    let out = cli()
+        .args(["add", "--algorithm", "quantum", "nonexistent.mtx"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = cli().args(["add"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = cli().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cli_help_prints_usage() {
+    let out = cli().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,179 @@
+//! Cross-crate correctness: every SpKAdd algorithm against the dense
+//! oracle on every workload family, plus edge cases.
+
+use spkadd_suite::gen::{
+    generate_collection, protein_collection, Pattern, ProteinConfig,
+};
+use spkadd_suite::sparse::{CscMatrix, DenseMatrix};
+use spkadd_suite::{spkadd_with, Algorithm, Options};
+
+fn dense_sum(mats: &[&CscMatrix<f64>]) -> DenseMatrix<f64> {
+    let mut acc = DenseMatrix::zeros(mats[0].nrows(), mats[0].ncols());
+    for m in mats {
+        acc.add_assign(&DenseMatrix::from_csc(m)).unwrap();
+    }
+    acc
+}
+
+fn check_all_algorithms(mats: &[CscMatrix<f64>], tol: f64) {
+    let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+    let expect = dense_sum(&refs);
+    let opts = Options::default();
+    for alg in Algorithm::ALL {
+        let out = spkadd_with(&refs, alg, &opts)
+            .unwrap_or_else(|e| panic!("{alg} failed: {e}"));
+        let diff = DenseMatrix::from_csc(&out).max_abs_diff(&expect);
+        assert!(diff <= tol, "{alg} deviates by {diff}");
+    }
+}
+
+#[test]
+fn er_collection_all_algorithms() {
+    let mats = generate_collection(Pattern::Er, 512, 16, 8, 8, 1);
+    check_all_algorithms(&mats, 1e-9);
+}
+
+#[test]
+fn rmat_collection_all_algorithms() {
+    let mats = generate_collection(Pattern::Rmat, 512, 16, 8, 8, 2);
+    check_all_algorithms(&mats, 1e-9);
+}
+
+#[test]
+fn high_compression_collection_all_algorithms() {
+    let mats = protein_collection(
+        &ProteinConfig {
+            nrows: 1024,
+            ncols: 32,
+            d: 16,
+            k: 12,
+            cf: 8.0,
+            skew: 0.5,
+        },
+        3,
+    );
+    check_all_algorithms(&mats, 1e-9);
+}
+
+#[test]
+fn tall_skinny_and_wide_shapes() {
+    // One column; many columns of one row.
+    let tall = generate_collection(Pattern::Er, 4096, 1, 64, 6, 4);
+    check_all_algorithms(&tall, 1e-9);
+    let wide = generate_collection(Pattern::Er, 2, 256, 1, 6, 5);
+    check_all_algorithms(&wide, 1e-9);
+}
+
+#[test]
+fn collections_with_empty_members() {
+    let mut mats = generate_collection(Pattern::Er, 128, 8, 4, 4, 6);
+    mats.push(CscMatrix::zeros(128, 8));
+    mats.insert(0, CscMatrix::zeros(128, 8));
+    check_all_algorithms(&mats, 1e-9);
+}
+
+#[test]
+fn all_empty_collection() {
+    let mats: Vec<CscMatrix<f64>> = (0..5).map(|_| CscMatrix::zeros(64, 8)).collect();
+    let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+    for alg in Algorithm::ALL {
+        let out = spkadd_with(&refs, alg, &Options::default()).unwrap();
+        assert_eq!(out.nnz(), 0, "{alg} produced entries from nothing");
+        assert_eq!(out.shape(), (64, 8));
+    }
+}
+
+#[test]
+fn identical_matrices_scale_values() {
+    let base = generate_collection(Pattern::Er, 256, 8, 8, 1, 7).pop().unwrap();
+    let mats: Vec<CscMatrix<f64>> = (0..10).map(|_| base.clone()).collect();
+    let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+    let out = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+    assert_eq!(out.nnz(), base.nnz(), "pattern must not grow");
+    let mut scaled = base.clone();
+    scaled.scale(10.0);
+    assert!(out.approx_eq(&scaled, 1e-9));
+}
+
+#[test]
+fn unsorted_duplicate_inputs_hash_family() {
+    // Non-canonical inputs: unsorted columns with duplicate row entries
+    // (as an unsorted SpGEMM would emit). Only the hash/SPA family must
+    // accept them; results are compared densely (duplicates sum).
+    let coo = {
+        let mut c = spkadd_suite::sparse::CooMatrix::new(64, 8);
+        for i in 0..200u32 {
+            c.push((i * 37) % 64, (i * 11) % 8, 1.0 + (i % 5) as f64);
+        }
+        // duplicates on purpose
+        for i in 0..50u32 {
+            c.push((i * 37) % 64, (i * 11) % 8, 0.5);
+        }
+        c
+    };
+    let raw = coo.to_csc(); // sorted but with duplicates
+    let mut shuffled = raw.clone();
+    // Reverse each column to destroy sortedness.
+    let (m, n, colptr, mut rows, mut vals) = shuffled.into_parts();
+    for j in 0..n {
+        rows[colptr[j]..colptr[j + 1]].reverse();
+        vals[colptr[j]..colptr[j + 1]].reverse();
+    }
+    shuffled = CscMatrix::try_new(m, n, colptr, rows, vals).unwrap();
+    assert!(!shuffled.is_sorted());
+
+    let mats = [raw, shuffled];
+    let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+    let expect = dense_sum(&refs);
+    for alg in [Algorithm::Hash, Algorithm::SlidingHash, Algorithm::Spa] {
+        let out = spkadd_with(&refs, alg, &Options::default()).unwrap();
+        assert_eq!(
+            DenseMatrix::from_csc(&out).max_abs_diff(&expect),
+            0.0,
+            "{alg} mishandled non-canonical input"
+        );
+    }
+}
+
+#[test]
+fn f32_values_work_end_to_end() {
+    // 8-byte hash entries (the paper's configuration).
+    let a = CscMatrix::<f32>::identity(32);
+    let mut b = CscMatrix::<f32>::identity(32);
+    b.scale(2.0);
+    let refs = vec![&a, &b, &a];
+    let out = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+    assert_eq!(out.get(5, 5).unwrap(), 4.0f32);
+    let out2 = spkadd_with(&refs, Algorithm::SlidingHash, &Options::default()).unwrap();
+    assert!(out.approx_eq(&out2, 0.0));
+}
+
+#[test]
+fn integer_values_exact() {
+    let a = CscMatrix::<i64>::identity(16);
+    let refs = vec![&a; 7];
+    for alg in [Algorithm::Hash, Algorithm::Heap, Algorithm::Spa] {
+        let out = spkadd_with(&refs, alg, &Options::default()).unwrap();
+        for i in 0..16 {
+            assert_eq!(out.get(i, i).unwrap(), 7i64, "{alg} wrong");
+        }
+    }
+}
+
+#[test]
+fn forced_tiny_tables_still_correct() {
+    let mats = generate_collection(Pattern::Rmat, 1024, 16, 16, 16, 8);
+    let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+    let expect = dense_sum(&refs);
+    for entries in [16usize, 64, 1024, 1 << 20] {
+        let mut opts = Options::default();
+        opts.forced_table_entries = Some(entries);
+        let out = spkadd_with(&refs, Algorithm::SlidingHash, &opts).unwrap();
+        assert_eq!(
+            DenseMatrix::from_csc(&out).max_abs_diff(&expect),
+            0.0,
+            "budget {entries} wrong"
+        );
+        assert!(out.is_sorted());
+    }
+}

@@ -1,0 +1,207 @@
+//! Robustness and adversarial-input tests: extreme shapes, index
+//! boundaries, pathological collections, and numerical corner cases.
+
+use spkadd_suite::kadd::StreamingAccumulator;
+use spkadd_suite::sparse::{CscMatrix, DenseMatrix};
+use spkadd_suite::{spkadd_with, Algorithm, Options};
+
+fn dense_sum(mats: &[&CscMatrix<f64>]) -> DenseMatrix<f64> {
+    let mut acc = DenseMatrix::zeros(mats[0].nrows(), mats[0].ncols());
+    for m in mats {
+        acc.add_assign(&DenseMatrix::from_csc(m)).unwrap();
+    }
+    acc
+}
+
+#[test]
+fn single_row_matrices() {
+    // m = 1: every entry lands on row 0; hash tables of size 4; SPA of 1.
+    let mats: Vec<CscMatrix<f64>> = (0..6)
+        .map(|i| {
+            CscMatrix::try_new(1, 4, vec![0, 1, 1, 2, 2], vec![0, 0], vec![i as f64, 1.0])
+                .unwrap()
+        })
+        .collect();
+    let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+    let expect = dense_sum(&refs);
+    for alg in Algorithm::ALL {
+        let out = spkadd_with(&refs, alg, &Options::default()).unwrap();
+        assert_eq!(
+            DenseMatrix::from_csc(&out).max_abs_diff(&expect),
+            0.0,
+            "{alg} wrong on 1-row matrices"
+        );
+    }
+}
+
+#[test]
+fn zero_column_and_zero_row_matrices() {
+    let a = CscMatrix::<f64>::zeros(5, 0);
+    let b = CscMatrix::<f64>::zeros(5, 0);
+    let out = spkadd_with(&[&a, &b], Algorithm::Hash, &Options::default()).unwrap();
+    assert_eq!(out.shape(), (5, 0));
+
+    let c = CscMatrix::<f64>::zeros(0, 5);
+    let d = CscMatrix::<f64>::zeros(0, 5);
+    let out = spkadd_with(&[&c, &d], Algorithm::SlidingHash, &Options::default()).unwrap();
+    assert_eq!(out.shape(), (0, 5));
+    assert_eq!(out.nnz(), 0);
+}
+
+#[test]
+fn large_k_many_tiny_matrices() {
+    // k = 500 single-entry matrices — stresses the heap (k nodes) and the
+    // per-thread workspace reuse.
+    let mats: Vec<CscMatrix<f64>> = (0..500u32)
+        .map(|i| {
+            CscMatrix::try_new(64, 4, vec![0, 0, 1, 1, 1], vec![i % 64], vec![1.0]).unwrap()
+        })
+        .collect();
+    let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+    let expect = dense_sum(&refs);
+    for alg in [
+        Algorithm::Hash,
+        Algorithm::Heap,
+        Algorithm::Spa,
+        Algorithm::TwoWayTree,
+        Algorithm::SlidingSpa,
+    ] {
+        let out = spkadd_with(&refs, alg, &Options::default()).unwrap();
+        assert_eq!(
+            DenseMatrix::from_csc(&out).max_abs_diff(&expect),
+            0.0,
+            "{alg} wrong at k=500"
+        );
+    }
+}
+
+#[test]
+fn row_indices_near_type_boundaries() {
+    // Rows at 0 and m-1 with m = 2^31 would be a 16 GB SPA; use the hash
+    // family, which only stores occupied rows.
+    let m = (1usize << 31) - 1;
+    let rows = vec![0u32, (m - 1) as u32];
+    let a = CscMatrix::try_new(m, 1, vec![0, 2], rows.clone(), vec![1.0, 2.0]).unwrap();
+    let b = CscMatrix::try_new(m, 1, vec![0, 2], rows, vec![10.0, 20.0]).unwrap();
+    for alg in [Algorithm::Hash, Algorithm::Heap, Algorithm::TwoWayTree] {
+        let out = spkadd_with(&[&a, &b], alg, &Options::default()).unwrap();
+        assert_eq!(out.nnz(), 2, "{alg}");
+        assert_eq!(out.get(0, 0).unwrap(), 11.0);
+        assert_eq!(out.get(m - 1, 0).unwrap(), 22.0);
+    }
+    // Sliding hash with a tiny forced budget must panel a huge row space
+    // without materializing it.
+    let mut opts = Options::default();
+    opts.forced_table_entries = Some(16);
+    let out = spkadd_with(&[&a, &b], Algorithm::SlidingHash, &opts).unwrap();
+    assert_eq!(out.nnz(), 2);
+}
+
+#[test]
+fn cancellation_keeps_explicit_zeros() {
+    // +1 and -1 at the same position: the sum stores an explicit zero
+    // (SpKAdd is structural, like the paper's nnz accounting).
+    let a = CscMatrix::try_new(4, 1, vec![0, 1], vec![2], vec![1.0]).unwrap();
+    let b = CscMatrix::try_new(4, 1, vec![0, 1], vec![2], vec![-1.0]).unwrap();
+    for alg in [Algorithm::Hash, Algorithm::Heap, Algorithm::Spa] {
+        let out = spkadd_with(&[&a, &b], alg, &Options::default()).unwrap();
+        assert_eq!(out.nnz(), 1, "{alg} must keep the cancelled entry");
+        assert_eq!(out.get(2, 0).unwrap(), 0.0);
+    }
+}
+
+#[test]
+fn extreme_skew_single_hot_column() {
+    // All k matrices concentrate everything in column 0 — the worst case
+    // for static scheduling and for per-column table sizing.
+    let mats: Vec<CscMatrix<f64>> = (0..8u32)
+        .map(|i| {
+            let rows: Vec<u32> = (0..512).map(|r| (r * 7 + i) % 4096).collect();
+            let mut sorted = rows.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let nnz = sorted.len();
+            let mut colptr = vec![nnz; 17];
+            colptr[0] = 0;
+            CscMatrix::try_new(4096, 16, colptr, sorted, vec![1.0; nnz]).unwrap()
+        })
+        .collect();
+    let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+    let expect = dense_sum(&refs);
+    for alg in [Algorithm::Hash, Algorithm::SlidingHash, Algorithm::Spa, Algorithm::Heap] {
+        for sched in [
+            spkadd_suite::kadd::Scheduling::Static,
+            spkadd_suite::kadd::Scheduling::default(),
+        ] {
+            let mut opts = Options::default();
+            opts.scheduling = sched;
+            let out = spkadd_with(&refs, alg, &opts).unwrap();
+            assert_eq!(
+                DenseMatrix::from_csc(&out).max_abs_diff(&expect),
+                0.0,
+                "{alg} with {sched:?} wrong"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_accumulator_survives_heterogeneous_batches() {
+    let mut acc = StreamingAccumulator::<f64>::with_defaults(32, 8, 5);
+    // Mix empty, dense-ish, and single-entry updates.
+    for i in 0..37u32 {
+        let m = match i % 3 {
+            0 => CscMatrix::zeros(32, 8),
+            1 => {
+                CscMatrix::try_new(32, 8, vec![0, 1, 1, 1, 1, 2, 2, 2, 2],
+                    vec![i % 32, (i * 3) % 32], vec![1.0, 2.0]).unwrap()
+            }
+            _ => CscMatrix::identity(32).slice_cols(0, 8),
+        };
+        acc.push(m).unwrap();
+    }
+    let out = acc.finish().unwrap();
+    assert!(out.nnz() > 0);
+    assert!(out.is_sorted());
+}
+
+#[test]
+fn options_combinations_matrix() {
+    // Exhaustive small matrix of option combinations on one collection.
+    let mats: Vec<CscMatrix<f64>> = (0..5u32)
+        .map(|i| {
+            CscMatrix::try_new(
+                128,
+                8,
+                vec![0, 2, 2, 4, 4, 6, 6, 8, 8],
+                vec![i, i + 8, i + 1, i + 9, i + 2, i + 10, i + 3, i + 11],
+                vec![1.0; 8],
+            )
+            .unwrap()
+        })
+        .collect();
+    let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+    let expect = dense_sum(&refs);
+    for sorted_output in [true, false] {
+        for symbolic in [
+            spkadd_suite::kadd::SymbolicStrategy::Hash,
+            spkadd_suite::kadd::SymbolicStrategy::SlidingHash,
+            spkadd_suite::kadd::SymbolicStrategy::Spa,
+            spkadd_suite::kadd::SymbolicStrategy::Heap,
+            spkadd_suite::kadd::SymbolicStrategy::UpperBound,
+        ] {
+            for threads in [0usize, 1] {
+                let mut opts = Options::default();
+                opts.sorted_output = sorted_output;
+                opts.symbolic = symbolic;
+                opts.threads = threads;
+                let out = spkadd_with(&refs, Algorithm::Hash, &opts).unwrap();
+                assert_eq!(
+                    DenseMatrix::from_csc(&out).max_abs_diff(&expect),
+                    0.0,
+                    "sorted={sorted_output} symbolic={symbolic:?} threads={threads}"
+                );
+            }
+        }
+    }
+}
