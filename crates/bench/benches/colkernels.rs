@@ -68,7 +68,13 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("heap", format!("d{d}_k{k}")), |b| {
             let mut heap = KwayHeap::<f64>::new(k);
             b.iter(|| {
-                heap_add_column(&views, &mut heap, &mut out_rows, &mut out_vals, &mut NullModel)
+                heap_add_column(
+                    &views,
+                    &mut heap,
+                    &mut out_rows,
+                    &mut out_vals,
+                    &mut NullModel,
+                )
             });
         });
     }

@@ -1,0 +1,64 @@
+//! End-to-end throughput of the sharded aggregation service: matrices/sec
+//! vs. shard count, for a uniform (ER) and a skewed (R-MAT/Graph500)
+//! submission stream.
+//!
+//! The service (and its worker threads) is stood up once per shard
+//! count; each timed iteration drives the whole pre-generated stream
+//! through it from several producer threads (so the submit path itself
+//! is contended, as in production) under a fresh key, finalizes, and
+//! checks the result is non-trivial. Throughput is reported in matrices
+//! per second; on a multi-core machine it grows with the shard count
+//! until the producers become the bottleneck. (On a single-core runner
+//! the curve is flat-to-declining — the shards have no extra hardware
+//! to run on and the per-shard slicing overhead still accrues.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spk_gen::{generate_collection, Pattern};
+use spk_server::{AggregatorService, ServiceConfig};
+use spk_sparse::CscMatrix;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const ROWS: usize = 1 << 14;
+const COLS: usize = 48;
+const NNZ_PER_COL: usize = 8;
+const STREAM_LEN: usize = 32;
+const PRODUCERS: usize = 4;
+
+fn drive(svc: &AggregatorService<f64>, mats: &[CscMatrix<f64>], key: &str) -> usize {
+    std::thread::scope(|scope| {
+        for chunk in mats.chunks(mats.len().div_ceil(PRODUCERS)) {
+            scope.spawn(move || {
+                for m in chunk {
+                    svc.submit(key, m).expect("submit failed");
+                }
+            });
+        }
+    });
+    let sum = svc.finalize(key).expect("finalize failed");
+    sum.nnz()
+}
+
+fn bench_server(c: &mut Criterion) {
+    let job = AtomicU64::new(0);
+    for (name, pattern) in [("er", Pattern::Er), ("rmat", Pattern::Rmat)] {
+        let mats = generate_collection(pattern, ROWS, COLS, NNZ_PER_COL, STREAM_LEN, 42);
+        let mut group = c.benchmark_group(format!("server_throughput/{name}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(STREAM_LEN as u64));
+        for shards in [1usize, 2, 4, 8] {
+            let svc = AggregatorService::new(ROWS, COLS, ServiceConfig::with_shards(shards));
+            group.bench_function(BenchmarkId::new("shards", shards), |b| {
+                b.iter(|| {
+                    let key = format!("job-{}", job.fetch_add(1, Ordering::Relaxed));
+                    let nnz = drive(&svc, &mats, &key);
+                    assert!(nnz > 0, "aggregate must be non-empty");
+                    nnz
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

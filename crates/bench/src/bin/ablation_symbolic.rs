@@ -63,10 +63,12 @@ fn main() {
             // Best of three to damp scheduler noise.
             let mut best: Option<(spk_sparse::CscMatrix<f64>, spkadd::PhaseTimings)> = None;
             for _ in 0..3 {
-                let (out, timings) =
-                    spkadd::spkadd_with_timings(&mrefs, Algorithm::Hash, &opts)
-                        .expect("spkadd failed");
-                if best.as_ref().is_none_or(|(_, b)| timings.total() < b.total()) {
+                let (out, timings) = spkadd::spkadd_with_timings(&mrefs, Algorithm::Hash, &opts)
+                    .expect("spkadd failed");
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b)| timings.total() < b.total())
+                {
                     best = Some((out, timings));
                 }
             }

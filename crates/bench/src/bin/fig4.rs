@@ -71,9 +71,8 @@ fn main() {
             opts.validate_sorted = false;
             opts.forced_table_entries = Some(size);
             let (timings, _) = time_best(reps, || {
-                let (_, t) =
-                    spkadd::spkadd_with_timings(&mrefs, Algorithm::SlidingHash, &opts)
-                        .expect("sliding hash failed");
+                let (_, t) = spkadd::spkadd_with_timings(&mrefs, Algorithm::SlidingHash, &opts)
+                    .expect("sliding hash failed");
                 t
             });
             rows.push(vec![
@@ -111,11 +110,9 @@ fn main() {
         let mut best = (usize::MAX, u64::MAX, usize::MAX, u64::MAX);
         for &size in &sim_sizes {
             let mut sky = CacheHierarchy::skylake_like(2 << 20);
-            trace_spkadd(&mrefs, Algorithm::SlidingHash, size, &mut sky)
-                .expect("trace failed");
+            trace_spkadd(&mrefs, Algorithm::SlidingHash, size, &mut sky).expect("trace failed");
             let mut epyc = CacheHierarchy::epyc_like(1 << 20);
-            trace_spkadd(&mrefs, Algorithm::SlidingHash, size, &mut epyc)
-                .expect("trace failed");
+            trace_spkadd(&mrefs, Algorithm::SlidingHash, size, &mut epyc).expect("trace failed");
             let (s, e) = (sky.ll_stats().misses(), epyc.ll_stats().misses());
             if s < best.1 {
                 best.0 = size;

@@ -21,8 +21,20 @@ fn main() {
     let threads = args.get("threads", 0usize);
 
     let workload_specs = [
-        ("Metaclust50-like", args.get("n", 8192usize), args.get("deg", 16usize), 128usize, 0.85),
-        ("Isolates-like", args.get("n", 8192usize) / 2, args.get("deg", 24usize), 32usize, 0.9),
+        (
+            "Metaclust50-like",
+            args.get("n", 8192usize),
+            args.get("deg", 16usize),
+            128usize,
+            0.85,
+        ),
+        (
+            "Isolates-like",
+            args.get("n", 8192usize) / 2,
+            args.get("deg", 24usize),
+            32usize,
+            0.9,
+        ),
     ];
 
     for (name, n, deg, clusters, in_cluster) in workload_specs {

@@ -62,8 +62,7 @@ fn main() {
         let mut h_plain = CacheHierarchy::skylake_like(llc);
         trace_spkadd(&mrefs, Algorithm::Hash, usize::MAX, &mut h_plain).expect("trace failed");
         let mut h_slide = CacheHierarchy::skylake_like(llc);
-        trace_spkadd(&mrefs, Algorithm::SlidingHash, budget, &mut h_slide)
-            .expect("trace failed");
+        trace_spkadd(&mrefs, Algorithm::SlidingHash, budget, &mut h_slide).expect("trace failed");
         let (p, s) = (h_plain.ll_stats().misses(), h_slide.ll_stats().misses());
         rows.push(vec![
             name.to_string(),

@@ -58,8 +58,7 @@ impl Args {
         let want = format!("--{name}");
         for w in self.raw.windows(2) {
             if w[0] == want {
-                let parsed: Vec<usize> =
-                    w[1].split(',').filter_map(|t| t.parse().ok()).collect();
+                let parsed: Vec<usize> = w[1].split(',').filter_map(|t| t.parse().ok()).collect();
                 if !parsed.is_empty() {
                     return parsed;
                 }
@@ -109,7 +108,10 @@ pub fn print_table(rows: &[Vec<String>]) {
             .collect();
         println!("{}", line.join("  "));
         if i == 0 {
-            println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+            println!(
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+            );
         }
     }
 }

@@ -279,8 +279,10 @@ mod tests {
         let mats: Vec<CscMatrix<f64>> = (0..2u64)
             .map(|s| {
                 let mut rows: Vec<u32> = (0..d)
-                    .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(s * 7919))
-                        % m as u64) as u32)
+                    .map(|i| {
+                        (((i as u64).wrapping_mul(2654435761).wrapping_add(s * 7919)) % m as u64)
+                            as u32
+                    })
                     .collect();
                 rows.sort_unstable();
                 rows.dedup();

@@ -58,10 +58,7 @@ impl<T: Scalar> KwayHeap<T> {
             self.cursors[i] = 0;
             mem.read(col.rows.as_ptr() as usize, 4);
             if let (Some(&r), Some(&v)) = (col.rows.first(), col.vals.first()) {
-                mem.read(
-                    col.vals.as_ptr() as usize,
-                    std::mem::size_of::<T>(),
-                );
+                mem.read(col.vals.as_ptr() as usize, std::mem::size_of::<T>());
                 self.push(
                     Node {
                         row: r,

@@ -20,10 +20,7 @@ fn stream_column<T: Scalar, M: MemModel>(col: &ColView<'_, T>, mem: &mut M) {
     // One read event per array; byte counts capture the streamed volume.
     if !col.rows.is_empty() {
         mem.read(col.rows.as_ptr() as usize, col.rows.len() * 4);
-        mem.read(
-            col.vals.as_ptr() as usize,
-            std::mem::size_of_val(col.vals),
-        );
+        mem.read(col.vals.as_ptr() as usize, std::mem::size_of_val(col.vals));
     }
 }
 

@@ -79,7 +79,8 @@ pub(crate) fn kway_numeric<T: Scalar>(
             let mut mem = NullModel;
             let tid = rayon::current_thread_index().unwrap_or(0) % nthreads;
             let mut ws_guard = ws_pool[tid].lock().expect("workspace mutex poisoned");
-            let ws = ws_guard.get_or_insert_with(|| Workspace::<T>::new(kernel, m, k, ctx.budget_add));
+            let ws =
+                ws_guard.get_or_insert_with(|| Workspace::<T>::new(kernel, m, k, ctx.budget_add));
             for (slot, j) in chunk.cols.clone().enumerate() {
                 views.clear();
                 views.extend(mats.iter().map(|a| a.col(j)));
@@ -90,14 +91,7 @@ pub(crate) fn kway_numeric<T: Scalar>(
                 let written = match &mut *ws {
                     Workspace::Hash(ht) => {
                         ht.reserve_for(hi - lo);
-                        hash_add_column(
-                            &views,
-                            ht,
-                            out_rows,
-                            out_vals,
-                            ctx.sorted_output,
-                            &mut mem,
-                        )
+                        hash_add_column(&views, ht, out_rows, out_vals, ctx.sorted_output, &mut mem)
                     }
                     Workspace::Sliding { ht, scratch } => sliding_add_column(
                         &views,
@@ -112,14 +106,9 @@ pub(crate) fn kway_numeric<T: Scalar>(
                         scratch,
                         &mut mem,
                     ),
-                    Workspace::Spa(spa) => spa_add_column(
-                        &views,
-                        spa,
-                        out_rows,
-                        out_vals,
-                        ctx.sorted_output,
-                        &mut mem,
-                    ),
+                    Workspace::Spa(spa) => {
+                        spa_add_column(&views, spa, out_rows, out_vals, ctx.sorted_output, &mut mem)
+                    }
                     Workspace::SlidingSpa { spa, scratch } => sliding_spa_add_column(
                         &views,
                         m,
@@ -287,7 +276,10 @@ mod tests {
         let exact = symbolic_counts(&refs, SymbolicStrategy::Hash, &c);
         let out = kway_numeric(&refs, &upper, false, NumericKernel::Hash, &c);
         assert_eq!(out.nnz(), exact.iter().sum::<usize>());
-        assert_eq!(DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)), 0.0);
+        assert_eq!(
+            DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)),
+            0.0
+        );
     }
 
     #[test]
@@ -298,7 +290,10 @@ mod tests {
         c.sorted_output = false;
         let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c);
         let out = kway_numeric(&refs, &counts, true, NumericKernel::Hash, &c);
-        assert_eq!(DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)), 0.0);
+        assert_eq!(
+            DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)),
+            0.0
+        );
     }
 
     #[test]
@@ -310,7 +305,10 @@ mod tests {
         c.budget_sym = 16;
         let counts = symbolic_counts(&refs, SymbolicStrategy::SlidingHash, &c);
         let out = kway_numeric(&refs, &counts, true, NumericKernel::SlidingHash, &c);
-        assert_eq!(DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)), 0.0);
+        assert_eq!(
+            DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)),
+            0.0
+        );
         assert!(out.is_sorted());
     }
 

@@ -62,7 +62,7 @@ pub use error::SpkaddError;
 pub use mem::{CountingModel, MemModel, NullModel};
 pub use parallel::Scheduling;
 pub use rowwise::spkadd_csr;
-pub use streaming::StreamingAccumulator;
+pub use streaming::{FlushPolicy, StreamingAccumulator};
 pub use symbolic::SymbolicStrategy;
 pub use tuning::{choose_algorithm, CacheConfig};
 pub use twoway::add_pair;
@@ -288,7 +288,11 @@ pub fn spkadd_with_timings<T: Scalar>(
         opts.threads
     };
     let budget_sym = opts.forced_table_entries.unwrap_or_else(|| {
-        budget_entries(opts.cache.llc_bytes, SYMBOLIC_ENTRY_BYTES, threads_effective)
+        budget_entries(
+            opts.cache.llc_bytes,
+            SYMBOLIC_ENTRY_BYTES,
+            threads_effective,
+        )
     });
     let budget_add = opts.forced_table_entries.unwrap_or_else(|| {
         budget_entries(
@@ -338,10 +342,10 @@ pub fn spkadd_with_timings<T: Scalar>(
                 },
             )),
             Algorithm::Heap
-        | Algorithm::Spa
-        | Algorithm::Hash
-        | Algorithm::SlidingHash
-        | Algorithm::SlidingSpa => {
+            | Algorithm::Spa
+            | Algorithm::Hash
+            | Algorithm::SlidingHash
+            | Algorithm::SlidingSpa => {
                 // Alg 8 line 2: the sliding algorithm's symbolic phase
                 // slides too, unless the caller explicitly picked another
                 // strategy.
@@ -508,8 +512,12 @@ mod tests {
     fn unsorted_output_mode() {
         let ms = collection();
         let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
-        let out =
-            spkadd_with(&refs, Algorithm::Hash, &Options::default().unsorted_output()).unwrap();
+        let out = spkadd_with(
+            &refs,
+            Algorithm::Hash,
+            &Options::default().unsorted_output(),
+        )
+        .unwrap();
         assert_eq!(
             DenseMatrix::from_csc(&out).max_abs_diff(&dense_sum(&refs)),
             0.0
@@ -531,8 +539,7 @@ mod tests {
     fn explicit_thread_count_works() {
         let ms = collection();
         let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
-        let out =
-            spkadd_with(&refs, Algorithm::Hash, &Options::default().with_threads(2)).unwrap();
+        let out = spkadd_with(&refs, Algorithm::Hash, &Options::default().with_threads(2)).unwrap();
         assert_eq!(
             DenseMatrix::from_csc(&out).max_abs_diff(&dense_sum(&refs)),
             0.0

@@ -319,14 +319,17 @@ mod tests {
             let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
             meter_spkadd(&refs, alg, 1 << 20).unwrap().1.bytes_total()
         };
-        let inc_ratio =
-            io_for(8, Algorithm::TwoWayIncremental) as f64 / io_for(4, Algorithm::TwoWayIncremental) as f64;
+        let inc_ratio = io_for(8, Algorithm::TwoWayIncremental) as f64
+            / io_for(4, Algorithm::TwoWayIncremental) as f64;
         let hash_ratio = io_for(8, Algorithm::Hash) as f64 / io_for(4, Algorithm::Hash) as f64;
         assert!(
             inc_ratio > 3.0,
             "incremental I/O ratio {inc_ratio} not quadratic-ish"
         );
-        assert!(hash_ratio < 2.5, "hash I/O ratio {hash_ratio} not linear-ish");
+        assert!(
+            hash_ratio < 2.5,
+            "hash I/O ratio {hash_ratio} not linear-ish"
+        );
     }
 
     #[test]

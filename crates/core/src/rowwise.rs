@@ -27,7 +27,9 @@ pub fn spkadd_csr<T: Scalar>(
     let sum_t = spkadd_with(&refs, alg, opts)?;
     // (Σ Aᵢᵀ)ᵀ = Σ Aᵢ; reinterpret the CSC result back as CSR.
     let (nrows_t, ncols_t, colptr, rowidx, values) = sum_t.into_parts();
-    Ok(CsrMatrix::from_parts(ncols_t, nrows_t, colptr, rowidx, values))
+    Ok(CsrMatrix::from_parts(
+        ncols_t, nrows_t, colptr, rowidx, values,
+    ))
 }
 
 #[cfg(test)]
@@ -52,7 +54,9 @@ mod tests {
         // Dense oracle via the CSC conversions.
         let mut expect = DenseMatrix::zeros(3, 4);
         for m in &mats {
-            expect.add_assign(&DenseMatrix::from_csc(&m.to_csc())).unwrap();
+            expect
+                .add_assign(&DenseMatrix::from_csc(&m.to_csc()))
+                .unwrap();
         }
         let got = DenseMatrix::from_csc(&sum.to_csc());
         assert_eq!(got.max_abs_diff(&expect), 0.0);

@@ -265,14 +265,23 @@ mod tests {
         // Sliding with a tiny budget forces many panels.
         let mut sht = SymbolicHashTable::with_capacity(4);
         let mut scratch = SlidingScratch::new();
-        let onz =
-            sliding_symbolic_column(&cols, 64, 8, &mut sht, true, &mut scratch, &mut mem);
+        let onz = sliding_symbolic_column(&cols, 64, 8, &mut sht, true, &mut scratch, &mut mem);
         assert_eq!(onz, n_ref);
         let mut ht2 = HashAccumulator::<f64>::with_capacity(4);
         let mut rows = vec![0u32; onz];
         let mut vals = vec![0.0f64; onz];
         let n = sliding_add_column(
-            &cols, 64, 8, onz, &mut ht2, &mut rows, &mut vals, true, true, &mut scratch, &mut mem,
+            &cols,
+            64,
+            8,
+            onz,
+            &mut ht2,
+            &mut rows,
+            &mut vals,
+            true,
+            true,
+            &mut scratch,
+            &mut mem,
         );
         assert_eq!(n, n_ref);
         assert_eq!(&rows[..], &ref_rows[..n_ref]);

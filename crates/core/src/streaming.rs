@@ -11,18 +11,61 @@
 //! one extra 2-way pass per batch.
 
 use crate::parallel::Scheduling;
+use crate::sliding::budget_entries;
 use crate::twoway::add_pair;
-use crate::{spkadd_with, Algorithm, Options, SpkaddError};
+use crate::{numeric_entry_bytes, spkadd_with, Algorithm, Options, SpkaddError};
 use spk_sparse::{CscMatrix, Scalar, SparseError};
+
+/// When a [`StreamingAccumulator`] reduces its pending batch.
+///
+/// The matrix-count mode is the paper's literal batching note; the nnz
+/// modes are the shard-friendly policies the aggregation service
+/// (`spk_server`) uses: a shard flushes once the *pending nonzeros* —
+/// not the matrix count — outgrow a budget, so many tiny slices buffer
+/// cheaply while a few dense ones flush early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Flush after this many pending matrices (the original batch mode).
+    Matrices(usize),
+    /// Flush once the pending nonzeros exceed this entry budget.
+    Nnz(usize),
+    /// Derive the nnz budget from the machine model: the pending batch's
+    /// numeric hash entries (`numeric_entry_bytes::<T>()` each, the
+    /// paper's `b`) must fit in an LLC shared by `sharers` accumulators —
+    /// `budget_entries(M, b, sharers)` from the sliding-hash analysis.
+    CacheBudget {
+        /// Accumulators (shard workers) sharing the last-level cache.
+        sharers: usize,
+    },
+}
+
+impl FlushPolicy {
+    /// Resolves the policy against execution options into concrete
+    /// `(matrix, nnz)` budgets (`usize::MAX` = unbounded on that axis).
+    pub fn budgets<T: Scalar>(&self, opts: &Options) -> (usize, usize) {
+        match *self {
+            FlushPolicy::Matrices(n) => (n.max(1), usize::MAX),
+            FlushPolicy::Nnz(b) => (usize::MAX, b.max(1)),
+            FlushPolicy::CacheBudget { sharers } => (
+                usize::MAX,
+                budget_entries(opts.cache.llc_bytes, numeric_entry_bytes::<T>(), sharers),
+            ),
+        }
+    }
+}
 
 /// Incrementally accumulates a stream of same-shape sparse matrices.
 #[derive(Debug)]
 pub struct StreamingAccumulator<T: Scalar> {
     shape: (usize, usize),
-    batch_size: usize,
+    /// Flush once `pending` reaches this many matrices…
+    mat_budget: usize,
+    /// …or this many pending nonzeros, whichever comes first.
+    nnz_budget: usize,
     algorithm: Algorithm,
     opts: Options,
     pending: Vec<CscMatrix<T>>,
+    pending_nnz: usize,
     total: Option<CscMatrix<T>>,
     batches_flushed: usize,
     matrices_seen: usize,
@@ -38,12 +81,37 @@ impl<T: Scalar> StreamingAccumulator<T> {
         algorithm: Algorithm,
         opts: Options,
     ) -> Self {
+        Self::with_policy(
+            nrows,
+            ncols,
+            FlushPolicy::Matrices(batch_size),
+            algorithm,
+            opts,
+        )
+    }
+
+    /// A new accumulator flushing per an explicit [`FlushPolicy`].
+    pub fn with_policy(
+        nrows: usize,
+        ncols: usize,
+        policy: FlushPolicy,
+        algorithm: Algorithm,
+        mut opts: Options,
+    ) -> Self {
+        let (mat_budget, nnz_budget) = policy.budgets::<T>(&opts);
+        // The streaming merge (`add_pair` in `flush`) requires sorted
+        // canonical operands, so batch reductions must emit sorted columns
+        // even when the caller prefers unsorted output — otherwise the
+        // two-pointer merge would silently mis-sum unsorted columns.
+        opts.sorted_output = true;
         Self {
             shape: (nrows, ncols),
-            batch_size: batch_size.max(1),
+            mat_budget,
+            nnz_budget,
             algorithm,
             opts,
             pending: Vec::new(),
+            pending_nnz: 0,
             total: None,
             batches_flushed: 0,
             matrices_seen: 0,
@@ -52,7 +120,13 @@ impl<T: Scalar> StreamingAccumulator<T> {
 
     /// Convenience constructor: hash SpKAdd with default options.
     pub fn with_defaults(nrows: usize, ncols: usize, batch_size: usize) -> Self {
-        Self::new(nrows, ncols, batch_size, Algorithm::Hash, Options::default())
+        Self::new(
+            nrows,
+            ncols,
+            batch_size,
+            Algorithm::Hash,
+            Options::default(),
+        )
     }
 
     /// Number of matrices accepted so far.
@@ -70,7 +144,13 @@ impl<T: Scalar> StreamingAccumulator<T> {
         self.pending.len()
     }
 
-    /// Accepts one matrix; reduces the batch when it reaches capacity.
+    /// Stored entries buffered but not yet reduced.
+    pub fn pending_nnz(&self) -> usize {
+        self.pending_nnz
+    }
+
+    /// Accepts one matrix; reduces the batch when either flush budget
+    /// (matrix count or pending nnz) is reached.
     pub fn push(&mut self, m: CscMatrix<T>) -> Result<(), SpkaddError> {
         if m.shape() != self.shape {
             return Err(SpkaddError::Sparse(SparseError::DimensionMismatch {
@@ -79,9 +159,18 @@ impl<T: Scalar> StreamingAccumulator<T> {
                 operand: self.matrices_seen,
             }));
         }
-        self.pending.push(m);
         self.matrices_seen += 1;
-        if self.pending.len() >= self.batch_size {
+        // An all-zero matrix contributes nothing to the sum; dropping it
+        // here keeps nnz-budget streams bounded structurally too (every
+        // buffered matrix then carries at least one budget-counted entry,
+        // so empty-slab floods — e.g. a shard outside a skewed stream's
+        // row range — cannot grow `pending` without triggering a flush).
+        if m.nnz() == 0 {
+            return Ok(());
+        }
+        self.pending_nnz += m.nnz();
+        self.pending.push(m);
+        if self.pending.len() >= self.mat_budget || self.pending_nnz >= self.nnz_budget {
             self.flush()?;
         }
         Ok(())
@@ -95,6 +184,7 @@ impl<T: Scalar> StreamingAccumulator<T> {
         let refs: Vec<&CscMatrix<T>> = self.pending.iter().collect();
         let batch_sum = spkadd_with(&refs, self.algorithm, &self.opts)?;
         self.pending.clear();
+        self.pending_nnz = 0;
         self.batches_flushed += 1;
         self.total = Some(match self.total.take() {
             None => batch_sum,
@@ -158,6 +248,88 @@ mod tests {
             acc.push(shifted_diag(8, i)).unwrap();
             assert!(acc.pending() < 3, "batch must flush at capacity");
         }
+    }
+
+    #[test]
+    fn nnz_budget_flushes_on_entry_pressure() {
+        // Budget of 20 entries: each 8×8 shifted diagonal has 8 nnz, so
+        // every third push crosses the budget and flushes.
+        let mut acc = StreamingAccumulator::with_policy(
+            8,
+            8,
+            FlushPolicy::Nnz(20),
+            Algorithm::Hash,
+            Options::default(),
+        );
+        acc.push(shifted_diag(8, 0)).unwrap();
+        acc.push(shifted_diag(8, 1)).unwrap();
+        assert_eq!(acc.pending(), 2, "16 < 20 entries: still buffered");
+        assert_eq!(acc.pending_nnz(), 16);
+        acc.push(shifted_diag(8, 2)).unwrap();
+        assert_eq!(acc.pending(), 0, "24 >= 20 entries: flushed");
+        assert_eq!(acc.pending_nnz(), 0);
+        assert_eq!(acc.batches_flushed(), 1);
+        let total = acc.finish().unwrap();
+        assert_eq!(
+            total.nnz(),
+            24,
+            "3 distinct shifted diagonals never overlap"
+        );
+    }
+
+    #[test]
+    fn unsorted_output_options_do_not_corrupt_the_merge() {
+        // Regression: with the caller preferring unsorted output, batch
+        // sums must still be sorted internally or the add_pair streaming
+        // merge mis-sums. Force several flushes and check exactness.
+        let mats: Vec<CscMatrix<f64>> = (0..9).map(|i| shifted_diag(16, i % 4)).collect();
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let oneshot = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+        let mut acc = StreamingAccumulator::new(
+            16,
+            16,
+            2,
+            Algorithm::Hash,
+            Options::default().unsorted_output(),
+        );
+        for m in &mats {
+            acc.push(m.clone()).unwrap();
+        }
+        assert!(acc.batches_flushed() >= 4, "multiple merges exercised");
+        let streamed = acc.finish().unwrap();
+        assert!(streamed.approx_eq(&oneshot, 0.0));
+    }
+
+    #[test]
+    fn empty_matrices_do_not_accumulate() {
+        // Regression: zero-nnz pushes (a shard outside a skewed stream's
+        // row range) must not grow `pending` — the nnz budget would never
+        // trigger and memory would grow without bound.
+        let mut acc = StreamingAccumulator::<f64>::with_policy(
+            8,
+            8,
+            FlushPolicy::CacheBudget { sharers: 1 },
+            Algorithm::Hash,
+            Options::default(),
+        );
+        for _ in 0..10_000 {
+            acc.push(CscMatrix::zeros(8, 8)).unwrap();
+        }
+        assert_eq!(acc.pending(), 0);
+        assert_eq!(acc.pending_nnz(), 0);
+        assert_eq!(acc.matrices_seen(), 10_000);
+        acc.push(shifted_diag(8, 1)).unwrap();
+        let total = acc.finish().unwrap();
+        assert_eq!(total.nnz(), 8, "zeros contribute nothing");
+    }
+
+    #[test]
+    fn cache_budget_policy_resolves_to_paper_formula() {
+        let mut opts = Options::default();
+        opts.cache.llc_bytes = 12_000; // 1000 f64 entries at 12 B each
+        let (mats, nnz) = FlushPolicy::CacheBudget { sharers: 4 }.budgets::<f64>(&opts);
+        assert_eq!(mats, usize::MAX);
+        assert_eq!(nnz, 250, "M / (b · sharers) = 12000 / (12 · 4)");
     }
 
     #[test]

@@ -168,22 +168,8 @@ mod tests {
     }
 
     fn mats() -> Vec<CscMatrix<f64>> {
-        let a = CscMatrix::try_new(
-            8,
-            2,
-            vec![0, 3, 5],
-            vec![1, 3, 6, 0, 4],
-            vec![1.0; 5],
-        )
-        .unwrap();
-        let b = CscMatrix::try_new(
-            8,
-            2,
-            vec![0, 2, 4],
-            vec![3, 7, 0, 4],
-            vec![1.0; 4],
-        )
-        .unwrap();
+        let a = CscMatrix::try_new(8, 2, vec![0, 3, 5], vec![1, 3, 6, 0, 4], vec![1.0; 5]).unwrap();
+        let b = CscMatrix::try_new(8, 2, vec![0, 2, 4], vec![3, 7, 0, 4], vec![1.0; 4]).unwrap();
         vec![a, b]
     }
 

@@ -158,7 +158,10 @@ mod tests {
     fn chooser_follows_figure_2() {
         let sky = CacheConfig::skylake();
         // k = 2: plain pairwise merge.
-        assert_eq!(choose_algorithm(2, 1000, 12, 48, &sky), Algorithm::TwoWayTree);
+        assert_eq!(
+            choose_algorithm(2, 1000, 12, 48, &sky),
+            Algorithm::TwoWayTree
+        );
         // Small tables, many threads: hash.
         assert_eq!(choose_algorithm(128, 2048, 12, 48, &sky), Algorithm::Hash);
         // The paper's spill example: k=128, d=512 → 65 536 entries/col,

@@ -72,13 +72,12 @@ pub fn protein_collection(cfg: &ProteinConfig, seed: u64) -> Vec<CscMatrix<f64>>
             let triplets: Vec<(Vec<u32>, Vec<f64>)> = (0..cfg.ncols)
                 .into_par_iter()
                 .map(|j| {
-                    let d_j =
-                        ((cfg.d as f64) * weights[j] * scale).round().max(1.0) as usize;
-                    let pool_size =
-                        (((cfg.k * d_j) as f64) / cfg.cf).round().max(1.0) as usize;
+                    let d_j = ((cfg.d as f64) * weights[j] * scale).round().max(1.0) as usize;
+                    let pool_size = (((cfg.k * d_j) as f64) / cfg.cf).round().max(1.0) as usize;
                     // Pool RNG: shared across matrices (depends on j only).
-                    let mut pool_rng =
-                        SmallRng::seed_from_u64(seed ^ (j as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                    let mut pool_rng = SmallRng::seed_from_u64(
+                        seed ^ (j as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+                    );
                     let pool: Vec<u32> = (0..pool_size)
                         .map(|_| pool_rng.gen_range(0..cfg.nrows as u32))
                         .collect();
@@ -136,9 +135,8 @@ pub fn protein_similarity_matrix(
     let triplets: Vec<(Vec<u32>, Vec<f64>)> = (0..n)
         .into_par_iter()
         .map(|v| {
-            let mut rng = SmallRng::seed_from_u64(
-                seed ^ (v as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9),
-            );
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (v as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
             let c = bounds.partition_point(|&b| b <= v) - 1;
             let (lo, hi) = (bounds[c], bounds[c + 1]);
             let mut rows: Vec<u32> = (0..avg_deg)

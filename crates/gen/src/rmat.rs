@@ -49,11 +49,7 @@ impl RmatParams {
     /// Validates that the probabilities are non-negative and sum to ~1.
     pub fn is_valid(&self) -> bool {
         let s = self.a + self.b + self.c + self.d;
-        self.a >= 0.0
-            && self.b >= 0.0
-            && self.c >= 0.0
-            && self.d >= 0.0
-            && (s - 1.0).abs() < 1e-9
+        self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0 && (s - 1.0).abs() < 1e-9
     }
 }
 
@@ -93,8 +89,9 @@ pub fn rmat(cfg: &RmatConfig, seed: u64) -> CscMatrix<f64> {
         .into_par_iter()
         .map(|chunk| {
             let quota = per_chunk + usize::from(chunk < remainder);
-            let mut rng = SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
-                .wrapping_mul(chunk as u64 + 1)));
+            let mut rng = SmallRng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chunk as u64 + 1)),
+            );
             let mut rows = Vec::with_capacity(quota);
             let mut cols = Vec::with_capacity(quota);
             let mut vals = Vec::with_capacity(quota);
@@ -169,8 +166,9 @@ pub fn er(nrows: usize, ncols: usize, d_per_col: usize, seed: u64) -> CscMatrix<
         .into_par_iter()
         .map(|chunk| {
             let quota = per_chunk + usize::from(chunk < remainder);
-            let mut rng = SmallRng::seed_from_u64(seed ^ (0xD1B5_4A32_D192_ED03u64
-                .wrapping_mul(chunk as u64 + 1)));
+            let mut rng = SmallRng::seed_from_u64(
+                seed ^ (0xD1B5_4A32_D192_ED03u64.wrapping_mul(chunk as u64 + 1)),
+            );
             let mut rows = Vec::with_capacity(quota);
             let mut cols = Vec::with_capacity(quota);
             let mut vals = Vec::with_capacity(quota);
@@ -266,7 +264,9 @@ mod tests {
             3,
         );
         assert_eq!(m.shape(), (100, 7));
-        assert!(m.iter().all(|(r, c, _)| (r as usize) < 100 && (c as usize) < 7));
+        assert!(m
+            .iter()
+            .all(|(r, c, _)| (r as usize) < 100 && (c as usize) < 7));
     }
 
     #[test]

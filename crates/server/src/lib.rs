@@ -1,0 +1,96 @@
+//! # spk_server — a sharded, concurrent SpKAdd aggregation service
+//!
+//! The SpKAdd kernels (arXiv:2112.10223) are single-call primitives: hand
+//! them `k` matrices, get the sum. Production aggregation traffic looks
+//! different — gradients and FEM element blocks arrive *one at a time*,
+//! tagged with a key (a training step, a mesh), from many producers at
+//! once. This crate turns the kernels into a service for that shape of
+//! load, borrowing the canonical scaling recipe of 2D-partitioned sparse
+//! algebra (Buluç–Gilbert, arXiv:1109.3739): partition the index space,
+//! run the cache-optimal local kernel per partition, reduce across
+//! partitions.
+//!
+//! * [`ShardPlan`] partitions the row space into `S` contiguous ranges.
+//! * [`AggregatorService`] owns `S` shard workers — one OS thread each,
+//!   fed by **bounded** channels, so a fast producer blocks instead of
+//!   ballooning memory (backpressure).
+//! * [`AggregatorService::submit`] splits an incoming CSC matrix into
+//!   row slabs in one pass
+//!   ([`CscMatrix::row_split`](spk_sparse::CscMatrix::row_split)) and
+//!   routes one slab to every shard.
+//! * Each shard folds its slab stream through a
+//!   [`StreamingAccumulator`](spkadd::StreamingAccumulator) whose
+//!   [`FlushPolicy`](spkadd::FlushPolicy) is derived from the machine
+//!   model ([`CacheConfig`](spkadd::CacheConfig)): pending slab entries
+//!   must fit in the shard's share of the LLC.
+//! * [`AggregatorService::finalize`] collects the per-shard partial sums
+//!   and vertically concatenates them
+//!   ([`CscMatrix::vstack`](spk_sparse::CscMatrix::vstack)) into the
+//!   exact global sum. Because the row ranges are disjoint, the
+//!   cross-shard tree reduction `Σ_s partial_s` degenerates to
+//!   concatenation — no numeric work, no rounding: the result is
+//!   *entry-for-entry identical* to a one-shot `spkadd_with` over the
+//!   same stream whenever the scalar additions are exact (integers, or
+//!   integer-valued floats), which the service test-suite asserts.
+//!
+//! ```
+//! use spk_server::{AggregatorService, ServiceConfig};
+//! use spk_sparse::CscMatrix;
+//!
+//! let svc = AggregatorService::<f64>::new(4, 4, ServiceConfig::with_shards(2));
+//! svc.submit("step-0", &CscMatrix::identity(4)).unwrap();
+//! svc.submit("step-0", &CscMatrix::identity(4)).unwrap();
+//! let sum = svc.finalize("step-0").unwrap();
+//! assert_eq!(sum.get(3, 3).unwrap(), 2.0);
+//! ```
+
+pub mod plan;
+pub mod service;
+
+pub use plan::ShardPlan;
+pub use service::{AggregatorService, ServiceConfig, ServiceMetrics, ShardMetrics};
+
+use spk_sparse::SparseError;
+use spkadd::SpkaddError;
+
+/// Errors surfaced by the aggregation service.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Structural/shape problem with a submitted matrix.
+    Sparse(SparseError),
+    /// A shard's local SpKAdd reduction failed (e.g. an algorithm that
+    /// needs sorted inputs received an unsorted matrix).
+    Spkadd(SpkaddError),
+    /// [`AggregatorService::finalize`] was called for a key that no
+    /// [`AggregatorService::submit`] ever mentioned (or that was already
+    /// finalized — finalize consumes the key's state).
+    UnknownKey(String),
+    /// A shard worker is gone (panicked or shut down) — the service can
+    /// no longer answer for its row range.
+    ShardDown(usize),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Sparse(e) => write!(f, "{e}"),
+            ServerError::Spkadd(e) => write!(f, "shard reduction failed: {e}"),
+            ServerError::UnknownKey(k) => write!(f, "unknown aggregation key '{k}'"),
+            ServerError::ShardDown(s) => write!(f, "shard worker {s} is down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<SparseError> for ServerError {
+    fn from(e: SparseError) -> Self {
+        ServerError::Sparse(e)
+    }
+}
+
+impl From<SpkaddError> for ServerError {
+    fn from(e: SpkaddError) -> Self {
+        ServerError::Spkadd(e)
+    }
+}

@@ -1,0 +1,158 @@
+//! Row-range shard plans.
+//!
+//! A [`ShardPlan`] is the 1D analogue of the 2D block distribution used
+//! by distributed SpGEMM (Buluç–Gilbert): the row space `0..nrows` is
+//! cut into `S` contiguous, disjoint, jointly-exhaustive ranges. Slicing
+//! every incoming matrix by these ranges makes the per-shard sums
+//! independent — shard `s` only ever sees rows `range(s)`, so the global
+//! sum is the vertical concatenation of the shard partials, with no
+//! cross-shard numeric reduction at all.
+
+use std::ops::Range;
+
+/// A partition of the row space into contiguous shard ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    nrows: usize,
+    /// `nshards + 1` non-decreasing boundaries; shard `s` owns
+    /// `bounds[s]..bounds[s+1]`.
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Cuts `0..nrows` into `shards` near-equal contiguous ranges
+    /// (sizes differ by at most one row).
+    pub fn uniform(nrows: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let bounds = (0..=shards).map(|s| s * nrows / shards).collect();
+        Self { nrows, bounds }
+    }
+
+    /// A plan from explicit boundaries. `bounds` must start at 0, end at
+    /// `nrows`, and be non-decreasing; panics otherwise (plans are
+    /// operator configuration, not data).
+    pub fn from_bounds(nrows: usize, bounds: Vec<usize>) -> Self {
+        assert!(bounds.len() >= 2, "need at least one shard");
+        assert_eq!(bounds[0], 0, "first boundary must be 0");
+        assert_eq!(
+            *bounds.last().unwrap(),
+            nrows,
+            "last boundary must be nrows"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must be non-decreasing"
+        );
+        Self { nrows, bounds }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn nshards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The `nshards + 1` range boundaries — the `bounds` argument
+    /// [`CscMatrix::row_split`](spk_sparse::CscMatrix::row_split) takes.
+    #[inline]
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Total rows covered by the plan.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Row range owned by shard `s`.
+    #[inline]
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// Iterates all shard ranges in shard order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.nshards()).map(|s| self.range(s))
+    }
+
+    /// The shard owning row `r` (binary search over the boundaries).
+    pub fn shard_of_row(&self, r: usize) -> usize {
+        debug_assert!(r < self.nrows);
+        // partition_point gives the first boundary > r; its predecessor
+        // opens the owning range. Empty ranges can share a boundary with
+        // their successor; the non-empty one owns the row.
+        self.bounds[1..].partition_point(|&b| b <= r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_exactly() {
+        for nrows in [0usize, 1, 7, 64, 100] {
+            for shards in [1usize, 2, 3, 8, 150] {
+                let plan = ShardPlan::uniform(nrows, shards);
+                assert_eq!(plan.nshards(), shards);
+                assert_eq!(plan.range(0).start, 0);
+                assert_eq!(plan.range(shards - 1).end, nrows);
+                let mut covered = 0usize;
+                for s in 0..shards {
+                    let r = plan.range(s);
+                    assert_eq!(r.start, covered, "ranges contiguous");
+                    covered = r.end;
+                }
+                assert_eq!(covered, nrows, "ranges exhaustive");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_balanced() {
+        let plan = ShardPlan::uniform(10, 4);
+        let sizes: Vec<usize> = plan.ranges().map(|r| r.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+    }
+
+    #[test]
+    fn shard_of_row_matches_ranges() {
+        let plan = ShardPlan::uniform(100, 7);
+        for r in 0..100 {
+            let s = plan.shard_of_row(r);
+            assert!(plan.range(s).contains(&r), "row {r} in shard {s}");
+        }
+    }
+
+    #[test]
+    fn shard_of_row_with_empty_shards() {
+        // 8 shards over 3 rows: most ranges are empty.
+        let plan = ShardPlan::uniform(3, 8);
+        for r in 0..3 {
+            let s = plan.shard_of_row(r);
+            assert!(plan.range(s).contains(&r));
+        }
+    }
+
+    #[test]
+    fn explicit_bounds_validated() {
+        let plan = ShardPlan::from_bounds(10, vec![0, 4, 10]);
+        assert_eq!(plan.nshards(), 2);
+        assert_eq!(plan.range(1), 4..10);
+    }
+
+    #[test]
+    #[should_panic(expected = "last boundary")]
+    fn explicit_bounds_must_end_at_nrows() {
+        ShardPlan::from_bounds(10, vec![0, 4, 9]);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let plan = ShardPlan::uniform(5, 0);
+        assert_eq!(plan.nshards(), 1);
+        assert_eq!(plan.range(0), 0..5);
+    }
+}

@@ -1,0 +1,586 @@
+//! The aggregation service: shard workers, routing, and finalization.
+//!
+//! One OS thread per shard, each fed by a bounded channel. `submit`
+//! slices the incoming matrix along the [`ShardPlan`] and sends one slab
+//! to every shard; a full queue blocks the producer (backpressure), so
+//! the pending-work footprint is bounded by
+//! `shards × queue_depth × slab size` no matter how fast producers run.
+//!
+//! Each shard folds its slab stream through one
+//! [`StreamingAccumulator`] per key. The accumulator's flush policy
+//! defaults to the machine-model budget: a shard flushes its pending
+//! slabs into the running partial once their entries outgrow the
+//! shard's share of the last-level cache (the same `M / (b·T)` budget
+//! the sliding-hash algorithm uses for its tables).
+
+use crate::plan::ShardPlan;
+use crate::ServerError;
+use spk_sparse::{CscMatrix, Scalar, SparseError};
+use spkadd::sliding::budget_entries;
+use spkadd::{
+    numeric_entry_bytes, Algorithm, FlushPolicy, Options, SpkaddError, StreamingAccumulator,
+};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration for [`AggregatorService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Shard worker count; 0 uses the machine's available parallelism.
+    pub shards: usize,
+    /// Bounded-queue capacity per shard (slabs); producers block when a
+    /// shard's queue is full.
+    pub queue_depth: usize,
+    /// Local reduction algorithm each shard runs.
+    pub algorithm: Algorithm,
+    /// Per-shard reduction options. Defaults to one thread per shard —
+    /// the service's parallelism is *across* shards, so shard-internal
+    /// rayon parallelism would oversubscribe the machine.
+    pub opts: Options,
+    /// Flush policy for the per-key accumulators. `None` derives
+    /// [`FlushPolicy::CacheBudget`] with the shard count as the number
+    /// of LLC sharers.
+    pub flush: Option<FlushPolicy>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 0,
+            queue_depth: 8,
+            algorithm: Algorithm::Hash,
+            opts: Options::default().with_threads(1),
+            flush: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Default configuration with an explicit shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the local reduction algorithm (builder-style).
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the flush policy (builder-style).
+    pub fn with_flush(mut self, flush: FlushPolicy) -> Self {
+        self.flush = Some(flush);
+        self
+    }
+}
+
+/// What a shard can answer when asked to finalize a key.
+enum ShardReply<T> {
+    Partial(CscMatrix<T>),
+    Unknown,
+    Failed(SpkaddError),
+}
+
+enum Msg<T: Scalar> {
+    Slice {
+        key: Arc<str>,
+        slab: CscMatrix<T>,
+    },
+    Finalize {
+        key: Arc<str>,
+        reply: Sender<ShardReply<T>>,
+    },
+    Shutdown,
+}
+
+#[derive(Debug, Default)]
+struct ShardCounters {
+    slices: AtomicU64,
+    batches_flushed: AtomicU64,
+}
+
+/// Point-in-time counters for one shard.
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// Row range the shard owns.
+    pub rows: Range<usize>,
+    /// Slabs received so far.
+    pub slices: u64,
+    /// Streaming batch reductions performed so far.
+    pub batches_flushed: u64,
+}
+
+/// Point-in-time counters for the whole service.
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    /// Matrices accepted by [`AggregatorService::submit`].
+    pub submitted: u64,
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl ServiceMetrics {
+    /// Total slabs routed across all shards.
+    pub fn slices_routed(&self) -> u64 {
+        self.shards.iter().map(|s| s.slices).sum()
+    }
+
+    /// Total streaming batch reductions across all shards.
+    pub fn batches_flushed(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches_flushed).sum()
+    }
+}
+
+/// A row-range-sharded, concurrent, keyed SpKAdd aggregation engine.
+///
+/// See the [crate docs](crate) for the architecture. Submissions for
+/// one key may come from many threads; the caller must ensure all
+/// `submit` calls for a key happen-before its `finalize` (join the
+/// producers first). Finalizing while submissions for the same key are
+/// still in flight yields an unspecified torn state — an in-flight
+/// matrix may be counted by some shards' partials and missed by others,
+/// so the result is not the sum of any prefix of the stream.
+pub struct AggregatorService<T: Scalar> {
+    shape: (usize, usize),
+    plan: ShardPlan,
+    algorithm: Algorithm,
+    validate_sorted: bool,
+    senders: Vec<SyncSender<Msg<T>>>,
+    counters: Vec<Arc<ShardCounters>>,
+    submitted: AtomicU64,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Scalar> AggregatorService<T> {
+    /// Spawns the shard workers for `nrows × ncols` matrices.
+    pub fn new(nrows: usize, ncols: usize, config: ServiceConfig) -> Self {
+        let shards = if config.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.shards
+        };
+        let plan = ShardPlan::uniform(nrows, shards);
+        let policy = config
+            .flush
+            .unwrap_or(FlushPolicy::CacheBudget { sharers: shards });
+        // S shard reductions run concurrently, but each shard's Options
+        // see threads=1 — left alone, the sliding algorithms would size
+        // their tables as if they owned the whole LLC. Force the shared
+        // budget `M/(b·S)` unless the caller pinned one explicitly.
+        let mut shard_opts = config.opts.clone();
+        if shard_opts.forced_table_entries.is_none() {
+            shard_opts.forced_table_entries = Some(budget_entries(
+                shard_opts.cache.llc_bytes,
+                numeric_entry_bytes::<T>(),
+                shards,
+            ));
+        }
+        let queue_depth = config.queue_depth.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut counters = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (tx, rx) = sync_channel::<Msg<T>>(queue_depth);
+            let ctr = Arc::new(ShardCounters::default());
+            let shard_rows = plan.range(s).len();
+            let algorithm = config.algorithm;
+            let opts = shard_opts.clone();
+            let worker_ctr = Arc::clone(&ctr);
+            let handle = std::thread::Builder::new()
+                .name(format!("spk-shard-{s}"))
+                .spawn(move || {
+                    shard_worker(rx, shard_rows, ncols, algorithm, policy, opts, worker_ctr)
+                })
+                .expect("failed to spawn shard worker");
+            senders.push(tx);
+            counters.push(ctr);
+            workers.push(handle);
+        }
+        Self {
+            shape: (nrows, ncols),
+            plan,
+            algorithm: config.algorithm,
+            validate_sorted: config.opts.validate_sorted,
+            senders,
+            counters,
+            submitted: AtomicU64::new(0),
+            workers,
+        }
+    }
+
+    /// The service's row partition.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Shape every submitted matrix must have.
+    pub fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// Accepts one matrix for aggregation under `key`: slices it along
+    /// the shard plan and routes one slab to every shard. Blocks when a
+    /// shard queue is full (backpressure).
+    ///
+    /// Rejection errors always describe the matrix passed to *this*
+    /// call, so their `operand` index is 0 — with concurrent producers
+    /// and many keys there is no meaningful global stream position.
+    pub fn submit(&self, key: &str, m: &CscMatrix<T>) -> Result<(), ServerError> {
+        if m.shape() != self.shape {
+            return Err(ServerError::Sparse(SparseError::DimensionMismatch {
+                expected: self.shape,
+                found: m.shape(),
+                operand: 0,
+            }));
+        }
+        // Row slabs of a sorted matrix are sorted, so one up-front check
+        // covers every shard's precondition.
+        if self.validate_sorted && self.algorithm.needs_sorted_inputs() && !m.is_sorted() {
+            return Err(ServerError::Spkadd(SpkaddError::UnsortedInput {
+                algorithm: self.algorithm.name(),
+                operand: 0,
+            }));
+        }
+        let key: Arc<str> = Arc::from(key);
+        // One pass over the matrix produces every shard's slab. Route to
+        // every live shard even if one is down, so the surviving shards
+        // stay mutually consistent; the error still reports the outage.
+        let mut first_down: Option<ServerError> = None;
+        let slabs = m.row_split(self.plan.bounds());
+        for (s, (tx, slab)) in self.senders.iter().zip(slabs).enumerate() {
+            if tx
+                .send(Msg::Slice {
+                    key: Arc::clone(&key),
+                    slab,
+                })
+                .is_err()
+            {
+                first_down.get_or_insert(ServerError::ShardDown(s));
+            }
+        }
+        if let Some(e) = first_down {
+            return Err(e);
+        }
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Finalizes `key`: every shard flushes its accumulator and returns
+    /// its partial sum; the partials are vertically concatenated into
+    /// the exact global sum. Consumes the key's state on every reachable
+    /// shard — even when an error is returned — so a second finalize for
+    /// the same key reports [`ServerError::UnknownKey`]; a failed
+    /// finalize cannot be retried.
+    pub fn finalize(&self, key: &str) -> Result<CscMatrix<T>, ServerError> {
+        let key: Arc<str> = Arc::from(key);
+        // One reply channel per shard keeps the partials in shard order.
+        // Broadcast to every live shard before draining any reply, so a
+        // downed shard cannot leave the others' per-key state
+        // half-consumed.
+        let mut first_error: Option<ServerError> = None;
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for (s, tx) in self.senders.iter().enumerate() {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            match tx.send(Msg::Finalize {
+                key: Arc::clone(&key),
+                reply: reply_tx,
+            }) {
+                Ok(()) => replies.push(Some(reply_rx)),
+                Err(_) => {
+                    first_error.get_or_insert(ServerError::ShardDown(s));
+                    replies.push(None);
+                }
+            }
+        }
+        let mut partials = Vec::with_capacity(replies.len());
+        for (s, rx) in replies.into_iter().enumerate() {
+            let Some(rx) = rx else { continue };
+            match rx.recv() {
+                Ok(ShardReply::Partial(p)) => partials.push(p),
+                Ok(ShardReply::Unknown) => {
+                    first_error.get_or_insert_with(|| ServerError::UnknownKey(key.to_string()));
+                }
+                Ok(ShardReply::Failed(e)) => {
+                    first_error.get_or_insert(ServerError::Spkadd(e));
+                }
+                Err(_) => {
+                    first_error.get_or_insert(ServerError::ShardDown(s));
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let refs: Vec<&CscMatrix<T>> = partials.iter().collect();
+        Ok(CscMatrix::vstack(&refs)?)
+    }
+
+    /// Current service counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            shards: self
+                .counters
+                .iter()
+                .enumerate()
+                .map(|(s, c)| ShardMetrics {
+                    rows: self.plan.range(s),
+                    slices: c.slices.load(Ordering::Relaxed),
+                    batches_flushed: c.batches_flushed.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Stops the workers and waits for them to exit. Dropping the
+    /// service does the same; this form surfaces worker panics.
+    pub fn shutdown(mut self) -> std::thread::Result<()> {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        let mut result = Ok(());
+        for h in self.workers.drain(..) {
+            if let Err(e) = h.join() {
+                result = Err(e);
+            }
+        }
+        result
+    }
+}
+
+impl<T: Scalar> Drop for AggregatorService<T> {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-key accumulation state inside one shard worker.
+struct KeyState<T: Scalar> {
+    acc: StreamingAccumulator<T>,
+    /// First reduction error, if any; reported at finalize. Later slices
+    /// for the key are dropped once poisoned.
+    error: Option<SpkaddError>,
+}
+
+fn shard_worker<T: Scalar>(
+    rx: Receiver<Msg<T>>,
+    shard_rows: usize,
+    ncols: usize,
+    algorithm: Algorithm,
+    policy: FlushPolicy,
+    opts: Options,
+    counters: Arc<ShardCounters>,
+) {
+    let mut keys: HashMap<Arc<str>, KeyState<T>> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Slice { key, slab } => {
+                counters.slices.fetch_add(1, Ordering::Relaxed);
+                let state = keys.entry(key).or_insert_with(|| KeyState {
+                    acc: StreamingAccumulator::with_policy(
+                        shard_rows,
+                        ncols,
+                        policy,
+                        algorithm,
+                        opts.clone(),
+                    ),
+                    error: None,
+                });
+                if state.error.is_none() {
+                    let before = state.acc.batches_flushed();
+                    if let Err(e) = state.acc.push(slab) {
+                        state.error = Some(e);
+                    }
+                    let flushed = state.acc.batches_flushed() - before;
+                    if flushed > 0 {
+                        counters
+                            .batches_flushed
+                            .fetch_add(flushed as u64, Ordering::Relaxed);
+                    }
+                }
+            }
+            Msg::Finalize { key, reply } => {
+                let answer = match keys.remove(&key) {
+                    None => ShardReply::Unknown,
+                    Some(KeyState { error: Some(e), .. }) => ShardReply::Failed(e),
+                    Some(KeyState { acc, error: None }) => {
+                        if acc.pending() > 0 {
+                            counters.batches_flushed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        match acc.finish() {
+                            Ok(partial) => ShardReply::Partial(partial),
+                            Err(e) => ShardReply::Failed(e),
+                        }
+                    }
+                };
+                let _ = reply.send(answer);
+            }
+            Msg::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spkadd::{spkadd_with, Options};
+
+    fn shifted_diag(n: usize, s: u32) -> CscMatrix<f64> {
+        let colptr = (0..=n).collect();
+        let rows = (0..n as u32).map(|j| (j + s) % n as u32).collect();
+        CscMatrix::try_new(n, n, colptr, rows, vec![1.0; n]).unwrap()
+    }
+
+    #[test]
+    fn sharded_sum_matches_one_shot() {
+        let mats: Vec<CscMatrix<f64>> = (0..12).map(|i| shifted_diag(32, i % 7)).collect();
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let oneshot = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+
+        let svc = AggregatorService::new(32, 32, ServiceConfig::with_shards(4));
+        for m in &mats {
+            svc.submit("job", m).unwrap();
+        }
+        let sum = svc.finalize("job").unwrap();
+        assert_eq!(sum, oneshot, "integer-valued stream must agree exactly");
+    }
+
+    #[test]
+    fn keys_are_isolated() {
+        let svc = AggregatorService::<f64>::new(8, 8, ServiceConfig::with_shards(2));
+        svc.submit("a", &shifted_diag(8, 0)).unwrap();
+        svc.submit("b", &shifted_diag(8, 1)).unwrap();
+        svc.submit("a", &shifted_diag(8, 0)).unwrap();
+        let a = svc.finalize("a").unwrap();
+        let b = svc.finalize("b").unwrap();
+        assert_eq!(a.get(0, 0).unwrap(), 2.0);
+        assert_eq!(b.get(1, 0).unwrap(), 1.0);
+        assert_eq!(b.nnz(), 8);
+    }
+
+    #[test]
+    fn finalize_consumes_the_key() {
+        let svc = AggregatorService::<f64>::new(8, 8, ServiceConfig::with_shards(2));
+        svc.submit("once", &shifted_diag(8, 0)).unwrap();
+        svc.finalize("once").unwrap();
+        assert!(matches!(
+            svc.finalize("once"),
+            Err(ServerError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let svc = AggregatorService::<f64>::new(8, 8, ServiceConfig::with_shards(2));
+        svc.submit("present", &shifted_diag(8, 0)).unwrap();
+        assert!(matches!(
+            svc.finalize("absent"),
+            Err(ServerError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let svc = AggregatorService::<f64>::new(8, 8, ServiceConfig::with_shards(2));
+        assert!(matches!(
+            svc.submit("job", &CscMatrix::zeros(9, 8)),
+            Err(ServerError::Sparse(SparseError::DimensionMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn unsorted_input_rejected_for_sorted_algorithms() {
+        let svc = AggregatorService::<f64>::new(
+            4,
+            1,
+            ServiceConfig::with_shards(2).with_algorithm(Algorithm::Heap),
+        );
+        let unsorted =
+            CscMatrix::try_new(4, 1, vec![0, 3], vec![3, 0, 2], vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(matches!(
+            svc.submit("job", &unsorted),
+            Err(ServerError::Spkadd(SpkaddError::UnsortedInput { .. }))
+        ));
+    }
+
+    #[test]
+    fn concurrent_producers_agree_with_one_shot() {
+        let mats: Vec<CscMatrix<f64>> = (0..32).map(|i| shifted_diag(64, i % 9)).collect();
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let oneshot = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+
+        let svc = AggregatorService::new(64, 64, ServiceConfig::with_shards(4));
+        std::thread::scope(|scope| {
+            for chunk in mats.chunks(8) {
+                let svc = &svc;
+                scope.spawn(move || {
+                    for m in chunk {
+                        svc.submit("job", m).unwrap();
+                    }
+                });
+            }
+        });
+        let sum = svc.finalize("job").unwrap();
+        assert_eq!(sum, oneshot);
+        let metrics = svc.metrics();
+        assert_eq!(metrics.submitted, 32);
+        assert_eq!(metrics.slices_routed(), 32 * 4);
+    }
+
+    #[test]
+    fn tiny_flush_budget_still_exact() {
+        // Force a flush after every single slab: exercises the
+        // batch + 2-way streaming path inside every shard.
+        let config = ServiceConfig::with_shards(3).with_flush(FlushPolicy::Nnz(1));
+        let mats: Vec<CscMatrix<f64>> = (0..6).map(|i| shifted_diag(16, i)).collect();
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let oneshot = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+        let svc = AggregatorService::new(16, 16, config);
+        for m in &mats {
+            svc.submit("job", m).unwrap();
+        }
+        let sum = svc.finalize("job").unwrap();
+        assert_eq!(sum, oneshot);
+        assert!(svc.metrics().batches_flushed() >= 6, "every slab flushed");
+    }
+
+    #[test]
+    fn more_shards_than_rows() {
+        let svc = AggregatorService::<f64>::new(3, 5, ServiceConfig::with_shards(8));
+        let m = CscMatrix::try_new(
+            3,
+            5,
+            vec![0, 1, 1, 2, 2, 3],
+            vec![0, 2, 1],
+            vec![1.0, 2.0, 3.0],
+        )
+        .unwrap();
+        svc.submit("job", &m).unwrap();
+        svc.submit("job", &m).unwrap();
+        let sum = svc.finalize("job").unwrap();
+        let mut expect = m.clone();
+        expect.scale(2.0);
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let svc = AggregatorService::<f64>::new(8, 8, ServiceConfig::with_shards(2));
+        svc.submit("job", &shifted_diag(8, 0)).unwrap();
+        svc.shutdown().unwrap();
+    }
+}

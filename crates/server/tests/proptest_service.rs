@@ -1,0 +1,96 @@
+//! Sharding-correctness property tests: for random collections and every
+//! algorithm in the suite, the sharded service's finalized sum is exactly
+//! equal — structure and bits — to a one-shot `spkadd_with` over the same
+//! collection.
+//!
+//! Values are integer-valued `f64`, so every summation order is exact and
+//! "same matrix" can be asserted with `==` rather than a tolerance.
+
+use proptest::prelude::*;
+use spk_server::{AggregatorService, ServiceConfig};
+use spk_sparse::{CooMatrix, CscMatrix};
+use spkadd::{spkadd_with, Algorithm, FlushPolicy, Options};
+
+/// Strategy: a collection of 1–5 same-shape canonical matrices with
+/// small-integer values.
+fn collection_strategy() -> impl Strategy<Value = Vec<CscMatrix<f64>>> {
+    (2usize..40, 1usize..12, 1usize..6).prop_flat_map(|(m, n, k)| {
+        let entry = (0..m as u32, 0..n as u32, -8i32..8);
+        let one = proptest::collection::vec(entry, 0..50).prop_map(move |trips| {
+            let mut coo = CooMatrix::new(m, n);
+            for (r, c, v) in trips {
+                coo.push(r, c, v as f64);
+            }
+            coo.to_csc_sum_duplicates()
+        });
+        proptest::collection::vec(one, k..k + 1)
+    })
+}
+
+fn run_sharded(
+    mats: &[CscMatrix<f64>],
+    alg: Algorithm,
+    shards: usize,
+    flush: Option<FlushPolicy>,
+) -> CscMatrix<f64> {
+    let (rows, cols) = mats[0].shape();
+    let mut config = ServiceConfig::with_shards(shards).with_algorithm(alg);
+    if let Some(policy) = flush {
+        config = config.with_flush(policy);
+    }
+    let svc = AggregatorService::new(rows, cols, config);
+    for m in mats {
+        svc.submit("prop", m).unwrap();
+    }
+    svc.finalize("prop").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every algorithm, random shard counts, default (cache) flush.
+    #[test]
+    fn sharded_equals_one_shot_for_every_algorithm(
+        mats in collection_strategy(),
+        shards in 1usize..6,
+    ) {
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        for alg in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+            let oneshot = spkadd_with(&refs, alg, &Options::default()).unwrap();
+            let sharded = run_sharded(&mats, alg, shards, None);
+            prop_assert_eq!(&sharded, &oneshot, "{} diverged", alg);
+        }
+    }
+
+    /// A pathological flush budget (flush after every slab) exercises the
+    /// streaming 2-way fold inside each shard without changing the sum.
+    #[test]
+    fn tiny_flush_budget_is_exact(
+        mats in collection_strategy(),
+        shards in 1usize..5,
+    ) {
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let oneshot = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+        let sharded = run_sharded(&mats, Algorithm::Hash, shards, Some(FlushPolicy::Nnz(1)));
+        prop_assert_eq!(&sharded, &oneshot);
+    }
+
+    /// Matrix-count batching (the paper's literal streaming mode) is
+    /// exact too.
+    #[test]
+    fn matrix_count_batching_is_exact(
+        mats in collection_strategy(),
+        shards in 1usize..5,
+        batch in 1usize..4,
+    ) {
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let oneshot = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+        let sharded = run_sharded(
+            &mats,
+            Algorithm::Hash,
+            shards,
+            Some(FlushPolicy::Matrices(batch)),
+        );
+        prop_assert_eq!(&sharded, &oneshot);
+    }
+}

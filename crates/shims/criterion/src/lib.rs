@@ -1,0 +1,215 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`Throughput`] — with a simple
+//! best-of-samples wall-clock measurement instead of criterion's full
+//! statistical pipeline. Each benchmark prints one line:
+//!
+//! ```text
+//! group/id                time: 12.345 ms/iter    (87.3 elem/s)
+//! ```
+//!
+//! Good enough to compare algorithms and observe scaling trends; not a
+//! replacement for criterion's confidence intervals.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `hash/d64_k8`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter, for single-function parameter sweeps.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measures one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: usize,
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best of `samples` runs (after one warmup).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples.max(1) {
+            let t0 = Instant::now();
+            black_box(f());
+            best = best.min(t0.elapsed());
+        }
+        self.best = Some(best);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark (criterion's default 100
+    /// is far too slow for a shim; callers set 10–20 anyway).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration work so results include a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            best: None,
+        };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id.0);
+        match b.best {
+            Some(best) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) if !best.is_zero() => {
+                        format!("    ({:.1} elem/s)", n as f64 / best.as_secs_f64())
+                    }
+                    Some(Throughput::Bytes(n)) if !best.is_zero() => {
+                        format!("    ({:.1} MB/s)", n as f64 / best.as_secs_f64() / 1e6)
+                    }
+                    _ => String::new(),
+                };
+                println!("{label:<48} time: {best:>12.3?}/iter{rate}");
+            }
+            None => println!("{label:<48} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+
+    /// Ends the group (line break in the report).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Registers benchmark functions under one group name, like criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the registered groups; ignores the harness
+/// flags cargo-bench passes (`--bench`, filters).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` also builds bench targets; when it *runs* them
+            // it passes `--test`, under which criterion executes nothing.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_pipeline_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| ran += 1);
+        });
+        group.finish();
+        assert!(ran >= 4, "warmup + 3 samples expected, got {ran}");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", "b").0, "a/b");
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+        assert_eq!(BenchmarkId::from("x").0, "x");
+    }
+}

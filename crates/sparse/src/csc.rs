@@ -373,11 +373,7 @@ impl<T: Scalar> CscMatrix<T> {
 
     /// Iterates all stored entries as `(row, col, value)` in column order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, T)> + '_ {
-        (0..self.ncols).flat_map(move |j| {
-            self.col(j)
-                .iter()
-                .map(move |(r, v)| (r, j as u32, v))
-        })
+        (0..self.ncols).flat_map(move |j| self.col(j).iter().map(move |(r, v)| (r, j as u32, v)))
     }
 
     /// Per-column nonzero counts (length `ncols`).
@@ -414,13 +410,7 @@ impl<T: Scalar> CscMatrix<T> {
     /// Converts to CSR (same numerical matrix, row-compressed).
     pub fn to_csr(&self) -> CsrMatrix<T> {
         let t = self.transpose();
-        CsrMatrix::from_parts(
-            self.nrows,
-            self.ncols,
-            t.colptr,
-            t.rowidx,
-            t.values,
-        )
+        CsrMatrix::from_parts(self.nrows, self.ncols, t.colptr, t.rowidx, t.values)
     }
 
     /// Converts to coordinate (triplet) format.
@@ -480,6 +470,132 @@ impl<T: Scalar> CscMatrix<T> {
             colptr.push(rowidx.len());
         }
         CscMatrix::from_parts((r2 - r1) as usize, self.ncols, colptr, rowidx, values)
+    }
+
+    /// Extracts the row slab `[r1, r2)` — alias of [`CscMatrix::slice_rows`]
+    /// under the name the sharding layer uses: `row_slice` + [`CscMatrix::vstack`]
+    /// are the partition/concatenate pair of the row-range-sharded
+    /// aggregation service (`spk_server`).
+    #[inline]
+    pub fn row_slice(&self, r1: usize, r2: usize) -> CscMatrix<T> {
+        self.slice_rows(r1, r2)
+    }
+
+    /// Splits the matrix into row slabs along `bounds` in **one pass**:
+    /// `bounds` holds `parts + 1` non-decreasing boundaries starting at 0
+    /// and ending at `nrows`; slab `p` receives rows
+    /// `bounds[p]..bounds[p+1]`, rebased to the slab.
+    ///
+    /// Equivalent to calling [`CscMatrix::row_slice`] once per range but
+    /// O(nnz + parts·ncols) total instead of `parts` full scans — this is
+    /// the submit-path primitive of the sharded aggregation service.
+    /// Sorted columns are carved with successive binary searches;
+    /// unsorted columns are bucketed entry-by-entry.
+    pub fn row_split(&self, bounds: &[usize]) -> Vec<CscMatrix<T>> {
+        assert!(
+            bounds.len() >= 2
+                && bounds[0] == 0
+                && *bounds.last().unwrap() == self.nrows
+                && bounds.windows(2).all(|w| w[0] <= w[1]),
+            "bounds must run 0..=nrows, non-decreasing"
+        );
+        let parts = bounds.len() - 1;
+        let mut colptrs: Vec<Vec<usize>> = (0..parts)
+            .map(|_| {
+                let mut v = Vec::with_capacity(self.ncols + 1);
+                v.push(0usize);
+                v
+            })
+            .collect();
+        let mut rowidxs: Vec<Vec<u32>> = (0..parts).map(|_| Vec::new()).collect();
+        let mut valss: Vec<Vec<T>> = (0..parts).map(|_| Vec::new()).collect();
+        for j in 0..self.ncols {
+            let col = self.col(j);
+            if col.rows.windows(2).all(|w| w[0] <= w[1]) {
+                let mut lo = 0usize;
+                for p in 0..parts {
+                    let hi = lo + col.rows[lo..].partition_point(|&r| (r as usize) < bounds[p + 1]);
+                    let base = bounds[p] as u32;
+                    rowidxs[p].extend(col.rows[lo..hi].iter().map(|&r| r - base));
+                    valss[p].extend_from_slice(&col.vals[lo..hi]);
+                    lo = hi;
+                }
+            } else {
+                for (r, v) in col.iter() {
+                    // First range whose end exceeds r owns the row (empty
+                    // ranges share their boundary with the successor).
+                    let p = bounds[1..].partition_point(|&b| b <= r as usize);
+                    rowidxs[p].push(r - bounds[p] as u32);
+                    valss[p].push(v);
+                }
+            }
+            for p in 0..parts {
+                colptrs[p].push(rowidxs[p].len());
+            }
+        }
+        colptrs
+            .into_iter()
+            .zip(rowidxs)
+            .zip(valss)
+            .enumerate()
+            .map(|(p, ((colptr, rowidx), values))| {
+                CscMatrix::from_parts(
+                    bounds[p + 1] - bounds[p],
+                    self.ncols,
+                    colptr,
+                    rowidx,
+                    values,
+                )
+            })
+            .collect()
+    }
+
+    /// Vertically concatenates row slabs: the inverse of partitioning a
+    /// matrix with [`CscMatrix::row_slice`] along contiguous row ranges.
+    ///
+    /// All parts must share one column count; the result has
+    /// `Σ nrows(part)` rows, with part `p`'s row indices rebased by the
+    /// total height of the parts above it. Within each output column the
+    /// entries of the parts are laid down in part order, so stacking
+    /// sorted slabs yields sorted columns. O(Σ nnz + ncols · parts).
+    pub fn vstack(parts: &[&CscMatrix<T>]) -> Result<CscMatrix<T>, SparseError> {
+        let first = parts.first().ok_or(SparseError::EmptyCollection)?;
+        let ncols = first.ncols;
+        let mut nrows = 0usize;
+        for (i, p) in parts.iter().enumerate() {
+            if p.ncols != ncols {
+                // Only the column count is constrained; `expected` copies
+                // the part's own row count so the reported mismatch
+                // isolates the dimension that actually matters.
+                return Err(SparseError::DimensionMismatch {
+                    expected: (p.nrows, ncols),
+                    found: p.shape(),
+                    operand: i,
+                });
+            }
+            nrows += p.nrows;
+        }
+        if nrows > u32::MAX as usize {
+            return Err(SparseError::InvalidStructure(format!(
+                "stacked height {nrows} exceeds u32 index range"
+            )));
+        }
+        let nnz: usize = parts.iter().map(|p| p.nnz()).sum();
+        let mut colptr = Vec::with_capacity(ncols + 1);
+        colptr.push(0usize);
+        let mut rowidx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for j in 0..ncols {
+            let mut offset = 0u32;
+            for p in parts {
+                let col = p.col(j);
+                rowidx.extend(col.rows.iter().map(|&r| r + offset));
+                values.extend_from_slice(col.vals);
+                offset += p.nrows as u32;
+            }
+            colptr.push(rowidx.len());
+        }
+        Ok(CscMatrix::from_parts(nrows, ncols, colptr, rowidx, values))
     }
 
     /// Sum of all stored values, as `f64`.
@@ -558,14 +674,7 @@ mod tests {
 
     fn small() -> CscMatrix<f64> {
         // col 0: (0,1.0),(2,2.0)  col 1: empty  col 2: (1,3.0)
-        CscMatrix::try_new(
-            3,
-            3,
-            vec![0, 2, 2, 3],
-            vec![0, 2, 1],
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap()
+        CscMatrix::try_new(3, 3, vec![0, 2, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap()
     }
 
     #[test]
@@ -576,7 +685,9 @@ mod tests {
             CscMatrix::<f64>::try_new(3, 1, vec![0, 1], vec![5], vec![1.0]).is_err(),
             "row index out of bounds must be rejected"
         );
-        assert!(CscMatrix::<f64>::try_new(3, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        assert!(
+            CscMatrix::<f64>::try_new(3, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err()
+        );
     }
 
     #[test]
@@ -641,14 +752,8 @@ mod tests {
 
     #[test]
     fn prune_zeros_removes_explicit_zeros() {
-        let mut m = CscMatrix::try_new(
-            3,
-            2,
-            vec![0, 2, 3],
-            vec![0, 1, 2],
-            vec![0.0, 5.0, 0.0],
-        )
-        .unwrap();
+        let mut m =
+            CscMatrix::try_new(3, 2, vec![0, 2, 3], vec![0, 1, 2], vec![0.0, 5.0, 0.0]).unwrap();
         m.prune_zeros();
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.get(1, 0).unwrap(), 5.0);
@@ -668,14 +773,7 @@ mod tests {
 
     #[test]
     fn transpose_sorts_unsorted_input() {
-        let m = CscMatrix::try_new(
-            4,
-            1,
-            vec![0, 3],
-            vec![3, 0, 2],
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let m = CscMatrix::try_new(4, 1, vec![0, 3], vec![3, 0, 2], vec![1.0, 2.0, 3.0]).unwrap();
         let tt = m.transpose().transpose();
         assert!(tt.is_sorted());
         assert!(tt.approx_eq(&m, 0.0));
@@ -708,14 +806,7 @@ mod tests {
 
     #[test]
     fn slice_rows_on_unsorted_columns() {
-        let m = CscMatrix::try_new(
-            4,
-            1,
-            vec![0, 3],
-            vec![3, 0, 2],
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let m = CscMatrix::try_new(4, 1, vec![0, 3], vec![3, 0, 2], vec![1.0, 2.0, 3.0]).unwrap();
         let s = m.slice_rows(1, 4);
         assert_eq!(s.nnz(), 2);
         assert_eq!(s.get(2, 0).unwrap(), 1.0);
@@ -757,6 +848,91 @@ mod tests {
         assert_eq!(m.get(0, 0).unwrap(), 2.0);
         m.map_values(|v| v - 1.0);
         assert_eq!(m.get(0, 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn vstack_inverts_row_slice() {
+        let m = small();
+        let top = m.row_slice(0, 1);
+        let mid = m.row_slice(1, 2);
+        let bot = m.row_slice(2, 3);
+        let back = CscMatrix::vstack(&[&top, &mid, &bot]).unwrap();
+        assert_eq!(back, m);
+        // Uneven two-way split round-trips too.
+        let back2 = CscMatrix::vstack(&[&m.row_slice(0, 2), &m.row_slice(2, 3)]).unwrap();
+        assert_eq!(back2, m);
+    }
+
+    #[test]
+    fn row_split_matches_per_range_slices() {
+        let m = small();
+        for bounds in [vec![0, 3], vec![0, 1, 3], vec![0, 0, 2, 2, 3]] {
+            let slabs = m.row_split(&bounds);
+            assert_eq!(slabs.len(), bounds.len() - 1);
+            for (p, slab) in slabs.iter().enumerate() {
+                assert_eq!(
+                    slab,
+                    &m.row_slice(bounds[p], bounds[p + 1]),
+                    "slab {p} of {bounds:?}"
+                );
+            }
+            let refs: Vec<&CscMatrix<f64>> = slabs.iter().collect();
+            assert_eq!(CscMatrix::vstack(&refs).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn row_split_on_unsorted_columns() {
+        let m = CscMatrix::try_new(4, 1, vec![0, 3], vec![3, 0, 2], vec![1.0, 2.0, 3.0]).unwrap();
+        let slabs = m.row_split(&[0, 2, 4]);
+        assert_eq!(slabs[0].nnz(), 1);
+        assert_eq!(slabs[0].get(0, 0).unwrap(), 2.0);
+        assert_eq!(slabs[1].nnz(), 2);
+        assert_eq!(slabs[1].get(1, 0).unwrap(), 1.0, "row 3 rebased to 1");
+        assert_eq!(slabs[1].get(0, 0).unwrap(), 3.0, "row 2 rebased to 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must run")]
+    fn row_split_rejects_bad_bounds() {
+        small().row_split(&[0, 2]);
+    }
+
+    #[test]
+    fn vstack_handles_empty_slabs() {
+        let m = small();
+        let empty = m.row_slice(1, 1);
+        assert_eq!(empty.nrows(), 0);
+        let stacked = CscMatrix::vstack(&[&empty, &m, &empty]).unwrap();
+        assert_eq!(stacked.shape(), m.shape());
+        assert_eq!(stacked, m);
+    }
+
+    #[test]
+    fn vstack_offsets_row_indices() {
+        let a = CscMatrix::<f64>::identity(2);
+        let b = CscMatrix::<f64>::identity(2);
+        let s = CscMatrix::vstack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), (4, 2));
+        assert_eq!(s.get(0, 0).unwrap(), 1.0);
+        assert_eq!(s.get(2, 0).unwrap(), 1.0);
+        assert_eq!(s.get(3, 1).unwrap(), 1.0);
+        assert_eq!(s.nnz(), 4);
+    }
+
+    #[test]
+    fn vstack_rejects_bad_inputs() {
+        let parts: [&CscMatrix<f64>; 0] = [];
+        assert!(matches!(
+            CscMatrix::vstack(&parts),
+            Err(SparseError::EmptyCollection)
+        ));
+        let a = CscMatrix::<f64>::zeros(2, 3);
+        let b = CscMatrix::<f64>::zeros(2, 4);
+        assert!(matches!(
+            CscMatrix::vstack(&[&a, &b]),
+            Err(SparseError::DimensionMismatch { operand: 1, .. })
+        ));
     }
 
     #[test]

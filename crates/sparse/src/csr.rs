@@ -123,9 +123,7 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn to_csc(&self) -> CscMatrix<T> {
         // self's rows are the columns of the transpose; transposing that
         // CSC view yields the original matrix in CSC form.
-        let tr = self
-            .clone()
-            .transpose_as_csc();
+        let tr = self.clone().transpose_as_csc();
         tr.transpose()
     }
 
@@ -148,14 +146,7 @@ mod tests {
 
     fn sample() -> CsrMatrix<f64> {
         // row 0: (0, 1.0), (2, 2.0); row 1: (1, 3.0)
-        CsrMatrix::try_new(
-            2,
-            3,
-            vec![0, 2, 3],
-            vec![0, 2, 1],
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap()
+        CsrMatrix::try_new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap()
     }
 
     #[test]

@@ -257,17 +257,11 @@ mod tests {
         )
         .is_err());
         // column index out of range.
-        assert!(
-            DcscMatrix::<f64>::try_new(4, 4, vec![9], vec![0, 1], vec![0], vec![1.0]).is_err()
-        );
+        assert!(DcscMatrix::<f64>::try_new(4, 4, vec![9], vec![0, 1], vec![0], vec![1.0]).is_err());
         // row index out of range.
-        assert!(
-            DcscMatrix::<f64>::try_new(4, 4, vec![1], vec![0, 1], vec![9], vec![1.0]).is_err()
-        );
+        assert!(DcscMatrix::<f64>::try_new(4, 4, vec![1], vec![0, 1], vec![9], vec![1.0]).is_err());
         // valid minimal case.
-        assert!(
-            DcscMatrix::<f64>::try_new(4, 4, vec![1], vec![0, 1], vec![2], vec![1.0]).is_ok()
-        );
+        assert!(DcscMatrix::<f64>::try_new(4, 4, vec![1], vec![0, 1], vec![2], vec![1.0]).is_ok());
     }
 
     #[test]

@@ -131,8 +131,8 @@ mod tests {
 
     #[test]
     fn from_csc_and_back() {
-        let m = CscMatrix::try_new(3, 2, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
-            .unwrap();
+        let m =
+            CscMatrix::try_new(3, 2, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap();
         let d = DenseMatrix::from_csc(&m);
         assert_eq!(d.get(0, 0), 1.0);
         assert_eq!(d.get(2, 0), 2.0);

@@ -151,8 +151,7 @@ mod tests {
         // One column holds everything.
         let mut colptr = vec![0usize; 101];
         colptr[1..].fill(50);
-        let m =
-            CscMatrix::try_new(64, 100, colptr, (0..50).collect(), vec![1.0; 50]).unwrap();
+        let m = CscMatrix::try_new(64, 100, colptr, (0..50).collect(), vec![1.0; 50]).unwrap();
         let s = DegreeStats::of(&m);
         assert_eq!(s.max, 50);
         assert!(s.gini > 0.9, "gini {} should be near 1", s.gini);

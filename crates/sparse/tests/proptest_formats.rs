@@ -115,3 +115,58 @@ proptest! {
         prop_assert!(shuffled.approx_eq(&m, 0.0));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `row_slice` along any contiguous partition, then `vstack`, is the
+    /// identity — the invariant the sharded aggregation service rests on.
+    #[test]
+    fn row_slice_vstack_round_trips(
+        m in matrix_strategy(),
+        shards in 1usize..6,
+    ) {
+        let rows = m.nrows();
+        let slabs: Vec<CscMatrix<f64>> = (0..shards)
+            .map(|s| m.row_slice(s * rows / shards, (s + 1) * rows / shards))
+            .collect();
+        let refs: Vec<&CscMatrix<f64>> = slabs.iter().collect();
+        let back = CscMatrix::vstack(&refs).unwrap();
+        prop_assert_eq!(&back, &m, "vstack ∘ row_slice must be the identity");
+    }
+
+    /// Stacking preserves per-column entry counts and shifts row indices
+    /// by the height of everything stacked above.
+    #[test]
+    fn vstack_offsets_and_counts(a in matrix_strategy(), b in matrix_strategy()) {
+        // Give b the same column count as a by slicing the wider one.
+        let n = a.ncols().min(b.ncols());
+        let a = a.slice_cols(0, n);
+        let b = b.slice_cols(0, n);
+        let s = CscMatrix::vstack(&[&a, &b]).unwrap();
+        prop_assert_eq!(s.shape(), (a.nrows() + b.nrows(), n));
+        prop_assert_eq!(s.nnz(), a.nnz() + b.nnz());
+        for j in 0..n {
+            prop_assert_eq!(s.col_nnz(j), a.col_nnz(j) + b.col_nnz(j));
+        }
+        for (r, c, v) in b.iter() {
+            prop_assert_eq!(s.get(r as usize + a.nrows(), c as usize).unwrap(), v);
+        }
+    }
+
+    /// The one-pass multi-way split produces exactly the slabs the
+    /// per-range `row_slice` calls would.
+    #[test]
+    fn row_split_agrees_with_row_slice(
+        m in matrix_strategy(),
+        shards in 1usize..6,
+    ) {
+        let rows = m.nrows();
+        let bounds: Vec<usize> = (0..=shards).map(|s| s * rows / shards).collect();
+        let slabs = m.row_split(&bounds);
+        prop_assert_eq!(slabs.len(), shards);
+        for (p, slab) in slabs.iter().enumerate() {
+            prop_assert_eq!(slab, &m.row_slice(bounds[p], bounds[p + 1]));
+        }
+    }
+}

@@ -16,10 +16,10 @@
 //! exactly what Fig 6 reports ("excluding the communication costs").
 //! See DESIGN.md, substitution 2.
 
-use spk_sparse::{CooMatrix, CscMatrix, SparseError};
-use spkadd::{Algorithm, Options, SpkaddError};
-use spk_spgemm::{spgemm_hash, SpgemmOptions};
 use rayon::prelude::*;
+use spk_sparse::{CooMatrix, CscMatrix, SparseError};
+use spk_spgemm::{spgemm_hash, SpgemmOptions};
+use spkadd::{Algorithm, Options, SpkaddError};
 use std::time::Instant;
 
 /// Which SpKAdd variant reduces the per-process intermediates, matching
@@ -118,12 +118,18 @@ impl SummaReport {
 
     /// Critical-path (max over processes) multiply time.
     pub fn multiply_max(&self) -> f64 {
-        self.per_process.iter().map(|t| t.multiply).fold(0.0, f64::max)
+        self.per_process
+            .iter()
+            .map(|t| t.multiply)
+            .fold(0.0, f64::max)
     }
 
     /// Critical-path SpKAdd time.
     pub fn spkadd_max(&self) -> f64 {
-        self.per_process.iter().map(|t| t.spkadd).fold(0.0, f64::max)
+        self.per_process
+            .iter()
+            .map(|t| t.spkadd)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -359,8 +365,7 @@ pub fn run_summa_3d(
     // Phase 2: reduce the c layer products (the cross-grid SpKAdd). In a
     // real machine this happens blockwise per process; numerically the
     // blockwise reduction is exactly the SpKAdd of the layer products.
-    let partials: Vec<CscMatrix<f64>> =
-        layer_reports.into_iter().map(|r| r.result).collect();
+    let partials: Vec<CscMatrix<f64>> = layer_reports.into_iter().map(|r| r.result).collect();
     let refs: Vec<&CscMatrix<f64>> = partials.iter().collect();
     let mut add_opts = Options::default();
     add_opts.validate_sorted = false;
@@ -473,11 +478,26 @@ mod tests {
     fn config_validation() {
         let (a, b) = inputs();
         assert!(matches!(
-            run_summa(&a, &b, &SummaConfig { grid: 0, ..Default::default() }),
+            run_summa(
+                &a,
+                &b,
+                &SummaConfig {
+                    grid: 0,
+                    ..Default::default()
+                }
+            ),
             Err(SummaError::Config(_))
         ));
         let tiny = CscMatrix::<f64>::identity(2);
-        assert!(run_summa(&tiny, &tiny, &SummaConfig { grid: 8, ..Default::default() }).is_err());
+        assert!(run_summa(
+            &tiny,
+            &tiny,
+            &SummaConfig {
+                grid: 8,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let bad = CscMatrix::<f64>::zeros(7, 7);
         assert!(run_summa(&a, &bad, &SummaConfig::default()).is_err());
     }
@@ -489,16 +509,13 @@ mod tests {
         let parts = process_intermediates(&a, &b, q, true).unwrap();
         assert_eq!(parts.len(), q);
         let refs: Vec<&CscMatrix<f64>> = parts.iter().collect();
-        let summed =
-            spkadd::spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+        let summed = spkadd::spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
         // Compare against block (0,0) of the full product.
         let direct = spgemm_hash(&a, &b, &SpgemmOptions::default()).unwrap();
         let block = direct
             .slice_rows(0, a.nrows() / q)
             .slice_cols(0, b.ncols() / q);
-        assert!(
-            DenseMatrix::from_csc(&summed).max_abs_diff(&DenseMatrix::from_csc(&block)) < 1e-9
-        );
+        assert!(DenseMatrix::from_csc(&summed).max_abs_diff(&DenseMatrix::from_csc(&block)) < 1e-9);
     }
 
     #[test]

@@ -65,6 +65,9 @@ fn main() {
     assert_eq!(global.col_nnz(num_nodes / 2), 3);
     // Row sums of a pure-stiffness assembly vanish (rigid-body mode).
     let sum = global.value_sum();
-    assert!(sum.abs() < 1e-6, "stiffness row sums should cancel, got {sum}");
+    assert!(
+        sum.abs() < 1e-6,
+        "stiffness row sums should cancel, got {sum}"
+    );
     println!("tridiagonal structure and rigid-body nullity verified ✓");
 }

@@ -1,12 +1,16 @@
 //! Sparse all-reduce of gradient updates — the deep-learning motivation
-//! from the paper's introduction.
+//! from the paper's introduction, served by the sharded aggregation
+//! service instead of a single SpKAdd call.
 //!
 //! Each of `k` workers produces a sparsified gradient for a weight matrix
 //! (top-c magnitudes per column, the "algorithmic sparsification" the
-//! paper cites). The in-node reduction of those k sparse matrices is
-//! exactly SpKAdd; this example compares the naive incremental reduction
-//! against the hash algorithm and reports the compression factor typical
-//! of overlapping gradient supports.
+//! paper cites) and submits it — from its own thread, as it would in a
+//! real trainer — to a shared `AggregatorService` keyed by training step.
+//! The service slices every gradient into row-range shards, folds each
+//! shard's stream through a cache-budgeted streaming accumulator, and
+//! `finalize("step-N")` concatenates the shard partials into the exact
+//! aggregate. For reference the same collection is also reduced with a
+//! one-shot hash SpKAdd and a naive incremental loop.
 //!
 //! ```text
 //! cargo run --release --example gradient_aggregation
@@ -14,6 +18,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use spkadd_suite::server::{AggregatorService, ServiceConfig};
 use spkadd_suite::sparse::{CooMatrix, CscMatrix};
 use spkadd_suite::{spkadd_with, Algorithm, Options};
 
@@ -41,6 +46,9 @@ fn worker_gradient(rows: usize, cols: usize, c: usize, hot: usize, seed: u64) ->
 fn main() {
     let (rows, cols) = (1 << 17, 256); // a 131k × 256 weight matrix
     let (k, c, hot) = (64, 32, 4096); // 64 workers, top-32 per column
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let grads: Vec<CscMatrix<f64>> = (0..k)
         .map(|w| worker_gradient(rows, cols, c, hot, 1000 + w as u64))
         .collect();
@@ -48,11 +56,29 @@ fn main() {
     let total_in: usize = grads.iter().map(|g| g.nnz()).sum();
     println!("aggregating k={k} worker gradients, {total_in} total update entries");
 
-    let opts = Options::default();
-
+    // --- the aggregation service: k concurrent producers, S shards ----
+    let svc = AggregatorService::new(rows, cols, ServiceConfig::with_shards(shards));
     let t = std::time::Instant::now();
-    let inc =
-        spkadd_with(&refs, Algorithm::TwoWayIncremental, &opts).expect("incremental failed");
+    std::thread::scope(|scope| {
+        for g in &grads {
+            let svc = &svc;
+            scope.spawn(move || svc.submit("step-0", g).expect("submit failed"));
+        }
+    });
+    let served = svc.finalize("step-0").expect("finalize failed");
+    let t_svc = t.elapsed().as_secs_f64();
+
+    let m = svc.metrics();
+    println!(
+        "service: {shards} shards, {} slices routed, {} batch flushes",
+        m.slices_routed(),
+        m.batches_flushed()
+    );
+
+    // --- reference reductions on the same collection ------------------
+    let opts = Options::default();
+    let t = std::time::Instant::now();
+    let inc = spkadd_with(&refs, Algorithm::TwoWayIncremental, &opts).expect("incremental failed");
     let t_inc = t.elapsed().as_secs_f64();
 
     let t = std::time::Instant::now();
@@ -60,20 +86,28 @@ fn main() {
     let t_hash = t.elapsed().as_secs_f64();
 
     assert!(inc.approx_eq(&hash, 1e-9));
+    assert!(
+        served.approx_eq(&hash, 1e-9),
+        "sharded service must agree with one-shot SpKAdd"
+    );
     println!(
         "aggregated gradient: {} nnz, compression factor {:.1}",
         hash.nnz(),
         total_in as f64 / hash.nnz() as f64
     );
-    println!("2-way incremental: {:.1} ms", t_inc * 1e3);
+    println!("2-way incremental:  {:.1} ms", t_inc * 1e3);
     println!(
-        "hash SpKAdd:       {:.1} ms  ({:.1}x faster)",
+        "hash SpKAdd:        {:.1} ms  ({:.1}x faster)",
         t_hash * 1e3,
         t_inc / t_hash
     );
+    println!(
+        "sharded service:    {:.1} ms end-to-end (submit from {k} threads + finalize)",
+        t_svc * 1e3
+    );
     // Apply the aggregated update (averaging across workers), as the
     // optimizer step would.
-    let mut update = hash;
+    let mut update = served;
     update.scale(1.0 / k as f64);
     println!("mean update norm ≈ {:.3}", update.value_sum().abs());
 }

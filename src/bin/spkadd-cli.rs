@@ -9,10 +9,14 @@
 //!
 //! # generate a test collection (ER or RMAT splits) into a directory:
 //! spkadd-cli gen --pattern rmat --rows 65536 --cols 64 --d 32 --k 8 --out-dir /tmp/mats
+//!
+//! # drive the sharded aggregation service with a synthetic stream:
+//! spkadd-cli serve-demo --shards 4 --keys 2 --matrices 64
 //! ```
 
 use spkadd_suite::gen::{generate_collection, Pattern};
 use spkadd_suite::kadd::{spkadd_with, Algorithm, Options};
+use spkadd_suite::server::{AggregatorService, ServerError, ServiceConfig};
 use spkadd_suite::sparse::{io, CollectionStats, CscMatrix, DegreeStats};
 use std::process::ExitCode;
 
@@ -27,6 +31,7 @@ fn main() -> ExitCode {
         "add" => cmd_add(rest),
         "stats" => cmd_stats(rest),
         "gen" => cmd_gen(rest),
+        "serve-demo" => cmd_serve_demo(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -50,6 +55,9 @@ USAGE:
   spkadd-cli stats FILES...
   spkadd-cli gen  [--pattern er|rmat] [--rows R] [--cols C] [--d D] [--k K]
                   [--seed S] --out-dir DIR
+  spkadd-cli serve-demo [--shards S] [--keys K] [--matrices N] [--rows R]
+                  [--cols C] [--d D] [--pattern er|rmat] [--producers P]
+                  [--algorithm NAME] [--seed S]
 
 Algorithms: hash (default), sliding-hash, spa, sliding-spa, heap,
             2way-tree, 2way-incremental, auto";
@@ -138,8 +146,9 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
     );
     match out {
         Some(path) => io::write_matrix_market(path, &sum).map_err(|e| e.to_string())?,
-        None => io::write_matrix_market_to(std::io::stdout().lock(), &sum)
-            .map_err(|e| e.to_string())?,
+        None => {
+            io::write_matrix_market_to(std::io::stdout().lock(), &sum).map_err(|e| e.to_string())?
+        }
     }
     Ok(())
 }
@@ -173,17 +182,119 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--name` as a `T`, defaulting when absent but *rejecting*
+/// unparseable values — a typo'd number must not silently fall back to
+/// the default and measure a different workload than requested.
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value '{raw}' for {name}")),
+    }
+}
+
+fn cmd_serve_demo(args: &[String]) -> Result<(), String> {
+    let shards: usize = parsed_flag(args, "--shards", 0)?;
+    let keys: usize = parsed_flag(args, "--keys", 2)?.max(1);
+    let matrices: usize = parsed_flag(args, "--matrices", 32)?.max(1);
+    let rows: usize = parsed_flag(args, "--rows", 16384)?;
+    let cols: usize = parsed_flag(args, "--cols", 64)?;
+    let d: usize = parsed_flag(args, "--d", 8)?;
+    let producers: usize = parsed_flag(args, "--producers", 4)?.max(1);
+    let seed: u64 = parsed_flag(args, "--seed", 42)?;
+    let pattern = match flag_value(args, "--pattern").unwrap_or("er") {
+        "er" => Pattern::Er,
+        "rmat" => Pattern::Rmat,
+        other => return Err(format!("unknown pattern '{other}'")),
+    };
+    // The service runs one fixed algorithm per shard; `auto` picks per
+    // collection shape, which doesn't exist yet when the service starts.
+    let algorithm = parse_algorithm(flag_value(args, "--algorithm").unwrap_or("hash"))?
+        .ok_or("serve-demo needs a concrete algorithm ('auto' is only for 'add')")?;
+
+    eprintln!(
+        "generating a stream of {matrices} {rows}x{cols} matrices (~{d} nnz/col, {:?})...",
+        pattern
+    );
+    let mats = generate_collection(pattern, rows, cols, d, matrices, seed);
+
+    let svc: AggregatorService<f64> = AggregatorService::new(
+        rows,
+        cols,
+        ServiceConfig::with_shards(shards).with_algorithm(algorithm),
+    );
+    let nshards = svc.plan().nshards();
+    eprintln!(
+        "service up: {nshards} shards, {producers} producers, {keys} keys, algorithm {algorithm}"
+    );
+
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for (p, chunk) in mats.chunks(matrices.div_ceil(producers)).enumerate() {
+            let svc = &svc;
+            scope.spawn(move || {
+                for (i, m) in chunk.iter().enumerate() {
+                    // Round-robin the stream over the aggregation keys.
+                    let key = format!("job-{}", (p + i) % keys);
+                    svc.submit(&key, m).expect("submit failed");
+                }
+            });
+        }
+    });
+    let submit_secs = t0.elapsed().as_secs_f64();
+
+    let mut output_nnz = 0usize;
+    for k in 0..keys {
+        let key = format!("job-{k}");
+        match svc.finalize(&key) {
+            Ok(sum) => {
+                output_nnz += sum.nnz();
+                println!("{key}: {} nnz aggregated", sum.nnz());
+            }
+            // Expected when the stream has fewer matrices than keys.
+            Err(ServerError::UnknownKey(_)) => {
+                println!("{key}: no submissions were routed to this key")
+            }
+            Err(e) => return Err(format!("{key}: {e}")),
+        }
+    }
+    let total_secs = t0.elapsed().as_secs_f64();
+
+    let m = svc.metrics();
+    println!(
+        "submitted {} matrices in {:.1} ms ({:.0} matrices/s); finalize total {:.1} ms",
+        m.submitted,
+        submit_secs * 1e3,
+        m.submitted as f64 / submit_secs.max(1e-9),
+        total_secs * 1e3
+    );
+    println!(
+        "routed {} slices, flushed {} batches, {} output nnz across {keys} keys",
+        m.slices_routed(),
+        m.batches_flushed(),
+        output_nnz
+    );
+    for s in &m.shards {
+        println!(
+            "  shard rows {:>7}..{:<7} | {:>5} slices | {:>4} flushes",
+            s.rows.start, s.rows.end, s.slices, s.batches_flushed
+        );
+    }
+    Ok(())
+}
+
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let pattern = match flag_value(args, "--pattern").unwrap_or("er") {
         "er" => Pattern::Er,
         "rmat" => Pattern::Rmat,
         other => return Err(format!("unknown pattern '{other}'")),
     };
-    let rows: usize = flag_value(args, "--rows").unwrap_or("65536").parse().unwrap_or(65536);
-    let cols: usize = flag_value(args, "--cols").unwrap_or("64").parse().unwrap_or(64);
-    let d: usize = flag_value(args, "--d").unwrap_or("16").parse().unwrap_or(16);
-    let k: usize = flag_value(args, "--k").unwrap_or("4").parse().unwrap_or(4);
-    let seed: u64 = flag_value(args, "--seed").unwrap_or("42").parse().unwrap_or(42);
+    let rows: usize = parsed_flag(args, "--rows", 65536)?;
+    let cols: usize = parsed_flag(args, "--cols", 64)?;
+    let d: usize = parsed_flag(args, "--d", 16)?;
+    let k: usize = parsed_flag(args, "--k", 4)?;
+    let seed: u64 = parsed_flag(args, "--seed", 42)?;
     let dir = flag_value(args, "--out-dir").ok_or("missing --out-dir")?;
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
     let mats = generate_collection(pattern, rows, cols, d, k, seed);

@@ -8,13 +8,16 @@
 //! * [`spgemm`] — local sparse matrix-matrix multiply ([`spk_spgemm`]);
 //! * [`summa`] — the simulated distributed sparse SUMMA pipeline
 //!   ([`spk_summa`]);
-//! * [`cachesim`] — the trace-driven cache simulator ([`spk_cachesim`]).
+//! * [`cachesim`] — the trace-driven cache simulator ([`spk_cachesim`]);
+//! * [`server`] — the sharded, concurrent SpKAdd aggregation service
+//!   ([`spk_server`]).
 //!
 //! See `examples/quickstart.rs` for a three-minute tour and DESIGN.md for
 //! the map from paper sections to modules.
 
 pub use spk_cachesim as cachesim;
 pub use spk_gen as gen;
+pub use spk_server as server;
 pub use spk_sparse as sparse;
 pub use spk_spgemm as spgemm;
 pub use spk_summa as summa;

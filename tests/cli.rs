@@ -41,7 +41,11 @@ fn gen_stats_add_pipeline() {
         .expect("failed to run cli");
     assert!(status.success());
     let files: Vec<String> = (0..3)
-        .map(|i| dir.join(format!("mat_{i:03}.mtx")).to_string_lossy().into_owned())
+        .map(|i| {
+            dir.join(format!("mat_{i:03}.mtx"))
+                .to_string_lossy()
+                .into_owned()
+        })
         .collect();
     for f in &files {
         assert!(std::path::Path::new(f).exists(), "{f} missing");
@@ -80,6 +84,37 @@ fn gen_stats_add_pipeline() {
     assert!(got.approx_eq(&expect, 1e-9));
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_demo_reports_shard_metrics() {
+    let out = cli()
+        .args([
+            "serve-demo",
+            "--shards",
+            "3",
+            "--keys",
+            "2",
+            "--matrices",
+            "12",
+            "--rows",
+            "256",
+            "--cols",
+            "8",
+            "--d",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "serve-demo failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("job-0:"), "missing key summary: {text}");
+    assert!(text.contains("job-1:"), "missing key summary: {text}");
+    assert!(
+        text.contains("routed 36 slices"),
+        "12 matrices x 3 shards = 36 slices: {text}"
+    );
+    assert!(text.contains("shard rows"), "missing shard table: {text}");
 }
 
 #[test]

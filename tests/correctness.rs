@@ -1,9 +1,7 @@
 //! Cross-crate correctness: every SpKAdd algorithm against the dense
 //! oracle on every workload family, plus edge cases.
 
-use spkadd_suite::gen::{
-    generate_collection, protein_collection, Pattern, ProteinConfig,
-};
+use spkadd_suite::gen::{generate_collection, protein_collection, Pattern, ProteinConfig};
 use spkadd_suite::sparse::{CscMatrix, DenseMatrix};
 use spkadd_suite::{spkadd_with, Algorithm, Options};
 
@@ -20,8 +18,7 @@ fn check_all_algorithms(mats: &[CscMatrix<f64>], tol: f64) {
     let expect = dense_sum(&refs);
     let opts = Options::default();
     for alg in Algorithm::ALL {
-        let out = spkadd_with(&refs, alg, &opts)
-            .unwrap_or_else(|e| panic!("{alg} failed: {e}"));
+        let out = spkadd_with(&refs, alg, &opts).unwrap_or_else(|e| panic!("{alg} failed: {e}"));
         let diff = DenseMatrix::from_csc(&out).max_abs_diff(&expect);
         assert!(diff <= tol, "{alg} deviates by {diff}");
     }
@@ -85,7 +82,9 @@ fn all_empty_collection() {
 
 #[test]
 fn identical_matrices_scale_values() {
-    let base = generate_collection(Pattern::Er, 256, 8, 8, 1, 7).pop().unwrap();
+    let base = generate_collection(Pattern::Er, 256, 8, 8, 1, 7)
+        .pop()
+        .unwrap();
     let mats: Vec<CscMatrix<f64>> = (0..10).map(|_| base.clone()).collect();
     let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
     let out = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();

@@ -77,7 +77,9 @@ fn matrix_market_round_trip_via_tempfile() {
     let a = er(64, 32, 4, 33);
     let path = std::env::temp_dir().join("spkadd_suite_roundtrip.mtx");
     io::write_matrix_market(&path, &a).unwrap();
-    let back = io::read_matrix_market(&path).unwrap().to_csc_sum_duplicates();
+    let back = io::read_matrix_market(&path)
+        .unwrap()
+        .to_csc_sum_duplicates();
     std::fs::remove_file(&path).ok();
     assert!(back.approx_eq(&a, 1e-9));
 }

@@ -18,8 +18,7 @@ fn single_row_matrices() {
     // m = 1: every entry lands on row 0; hash tables of size 4; SPA of 1.
     let mats: Vec<CscMatrix<f64>> = (0..6)
         .map(|i| {
-            CscMatrix::try_new(1, 4, vec![0, 1, 1, 2, 2], vec![0, 0], vec![i as f64, 1.0])
-                .unwrap()
+            CscMatrix::try_new(1, 4, vec![0, 1, 1, 2, 2], vec![0, 0], vec![i as f64, 1.0]).unwrap()
         })
         .collect();
     let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
@@ -53,9 +52,7 @@ fn large_k_many_tiny_matrices() {
     // k = 500 single-entry matrices — stresses the heap (k nodes) and the
     // per-thread workspace reuse.
     let mats: Vec<CscMatrix<f64>> = (0..500u32)
-        .map(|i| {
-            CscMatrix::try_new(64, 4, vec![0, 0, 1, 1, 1], vec![i % 64], vec![1.0]).unwrap()
-        })
+        .map(|i| CscMatrix::try_new(64, 4, vec![0, 0, 1, 1, 1], vec![i % 64], vec![1.0]).unwrap())
         .collect();
     let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
     let expect = dense_sum(&refs);
@@ -128,7 +125,12 @@ fn extreme_skew_single_hot_column() {
         .collect();
     let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
     let expect = dense_sum(&refs);
-    for alg in [Algorithm::Hash, Algorithm::SlidingHash, Algorithm::Spa, Algorithm::Heap] {
+    for alg in [
+        Algorithm::Hash,
+        Algorithm::SlidingHash,
+        Algorithm::Spa,
+        Algorithm::Heap,
+    ] {
         for sched in [
             spkadd_suite::kadd::Scheduling::Static,
             spkadd_suite::kadd::Scheduling::default(),
@@ -152,10 +154,14 @@ fn streaming_accumulator_survives_heterogeneous_batches() {
     for i in 0..37u32 {
         let m = match i % 3 {
             0 => CscMatrix::zeros(32, 8),
-            1 => {
-                CscMatrix::try_new(32, 8, vec![0, 1, 1, 1, 1, 2, 2, 2, 2],
-                    vec![i % 32, (i * 3) % 32], vec![1.0, 2.0]).unwrap()
-            }
+            1 => CscMatrix::try_new(
+                32,
+                8,
+                vec![0, 1, 1, 1, 1, 2, 2, 2, 2],
+                vec![i % 32, (i * 3) % 32],
+                vec![1.0, 2.0],
+            )
+            .unwrap(),
             _ => CscMatrix::identity(32).slice_cols(0, 8),
         };
         acc.push(m).unwrap();
