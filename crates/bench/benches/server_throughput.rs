@@ -1,6 +1,8 @@
 //! End-to-end throughput of the sharded aggregation service: matrices/sec
 //! vs. shard count, for a uniform (ER) and a skewed (R-MAT/Graph500)
-//! submission stream.
+//! submission stream — plus a planned-vs-unplanned flush comparison that
+//! isolates the workspace-reuse win a retained `SpkAddPlan` delivers to
+//! the shards' streaming accumulators.
 //!
 //! The service (and its worker threads) is stood up once per shard
 //! count; each timed iteration drives the whole pre-generated stream
@@ -16,6 +18,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use spk_gen::{generate_collection, Pattern};
 use spk_server::{AggregatorService, ServiceConfig};
 use spk_sparse::CscMatrix;
+use spkadd::{spkadd_with, Algorithm, Options, SpkAdd};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const ROWS: usize = 1 << 14;
@@ -60,5 +63,32 @@ fn bench_server(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_server);
+/// Planned vs unplanned flush: the same batch reduction a shard's
+/// accumulator performs on every flush, once through a retained
+/// `SpkAddPlan` (what `StreamingAccumulator` now does) and once through
+/// the throwaway-plan `spkadd_with` shim (what it used to do). The gap
+/// is pure workspace-setup amortization.
+fn bench_flush_reuse(c: &mut Criterion) {
+    let batch = generate_collection(Pattern::Rmat, ROWS, COLS, NNZ_PER_COL, 8, 7);
+    let refs: Vec<&CscMatrix<f64>> = batch.iter().collect();
+    let opts = Options::default().with_threads(1);
+
+    let mut group = c.benchmark_group("server_throughput/flush");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(refs.len() as u64));
+    let mut plan = SpkAdd::new(ROWS, COLS)
+        .algorithm(Algorithm::Hash)
+        .options(opts.clone())
+        .build::<f64>()
+        .expect("plan build failed");
+    group.bench_function("planned", |b| {
+        b.iter(|| plan.execute(&refs).expect("flush failed"));
+    });
+    group.bench_function("oneshot", |b| {
+        b.iter(|| spkadd_with(&refs, Algorithm::Hash, &opts).expect("flush failed"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_server, bench_flush_reuse);
 criterion_main!(benches);

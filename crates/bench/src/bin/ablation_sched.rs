@@ -49,11 +49,20 @@ fn main() {
         dynamic_opts.scheduling = Scheduling::Dynamic {
             chunks_per_thread: 8,
         };
-        let (_, t_static) = time_best(reps, || {
-            spkadd::spkadd_with(&mrefs, Algorithm::Hash, &static_opts).expect("spkadd failed")
-        });
+        // One plan per scheduling policy, reused across reps.
+        let mut static_plan = spkadd::SpkAdd::new(m, n)
+            .algorithm(Algorithm::Hash)
+            .options(static_opts)
+            .build::<f64>()
+            .expect("plan build failed");
+        let mut dynamic_plan = spkadd::SpkAdd::new(m, n)
+            .algorithm(Algorithm::Hash)
+            .options(dynamic_opts)
+            .build::<f64>()
+            .expect("plan build failed");
+        let (_, t_static) = time_best(reps, || static_plan.execute(&mrefs).expect("spkadd failed"));
         let (_, t_dynamic) = time_best(reps, || {
-            spkadd::spkadd_with(&mrefs, Algorithm::Hash, &dynamic_opts).expect("spkadd failed")
+            dynamic_plan.execute(&mrefs).expect("spkadd failed")
         });
         rows.push(vec![
             name.to_string(),

@@ -2,7 +2,7 @@
 //!
 //! The paper observes that "the benefits of sliding hash can also be
 //! observed in the SPA algorithm if we partition the SPA array based on
-//! row indices [16]". This harness compares plain SPA, sliding SPA, hash,
+//! row indices \[16\]". This harness compares plain SPA, sliding SPA, hash,
 //! and sliding hash on workloads with growing row counts — plain SPA's
 //! O(m)-per-thread array falls out of cache as m grows, which is exactly
 //! when partitioning pays.
@@ -44,9 +44,13 @@ fn main() {
             Algorithm::Hash,
             Algorithm::SlidingHash,
         ] {
-            let (out, secs) = time_best(reps, || {
-                spkadd::spkadd_with(&mrefs, alg, &opts).expect("spkadd failed")
-            });
+            // One plan per (rows, algorithm) cell, reused across reps.
+            let mut plan = spkadd::SpkAdd::new(m, n)
+                .algorithm(alg)
+                .options(opts.clone())
+                .build::<f64>()
+                .expect("plan build failed");
+            let (out, secs) = time_best(reps, || plan.execute(&mrefs).expect("spkadd failed"));
             match &reference {
                 None => reference = Some(out),
                 Some(r) => assert!(out.approx_eq(r, 1e-9), "{alg} diverged"),

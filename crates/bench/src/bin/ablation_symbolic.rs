@@ -60,11 +60,16 @@ fn main() {
             opts.threads = threads;
             opts.validate_sorted = false;
             opts.symbolic = strategy;
+            // One plan per strategy, reused across the three reps.
+            let mut plan = spkadd::SpkAdd::new(m, n)
+                .algorithm(Algorithm::Hash)
+                .options(opts)
+                .build::<f64>()
+                .expect("plan build failed");
             // Best of three to damp scheduler noise.
             let mut best: Option<(spk_sparse::CscMatrix<f64>, spkadd::PhaseTimings)> = None;
             for _ in 0..3 {
-                let (out, timings) = spkadd::spkadd_with_timings(&mrefs, Algorithm::Hash, &opts)
-                    .expect("spkadd failed");
+                let (out, timings) = plan.execute_timed(&mrefs).expect("spkadd failed");
                 if best
                     .as_ref()
                     .is_none_or(|(_, b)| timings.total() < b.total())

@@ -55,9 +55,14 @@ fn main() {
                     if est > guard {
                         continue;
                     }
-                    let (_, secs) = time_best(reps, || {
-                        spkadd::spkadd_with(&mrefs, alg, &opts).expect("spkadd failed")
-                    });
+                    // One plan per contender cell, reused across reps.
+                    let mut plan = spkadd::SpkAdd::new(m, n)
+                        .algorithm(alg)
+                        .options(opts.clone())
+                        .build::<f64>()
+                        .expect("plan build failed");
+                    let (_, secs) =
+                        time_best(reps, || plan.execute(&mrefs).expect("spkadd failed"));
                     if secs < best.1 {
                         best = (tag, secs);
                     }

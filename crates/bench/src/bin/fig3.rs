@@ -76,9 +76,14 @@ fn main() {
                 let mut opts = Options::default();
                 opts.threads = t;
                 opts.validate_sorted = false;
-                let (_, secs) = time_best(reps, || {
-                    spkadd::spkadd_with(&mrefs, alg, &opts).expect("spkadd failed")
-                });
+                // One plan per (algorithm, T) cell: budgets resolve for
+                // that thread count once, reps reuse the workspaces.
+                let mut plan = spkadd::SpkAdd::new(mats[0].nrows(), mats[0].ncols())
+                    .algorithm(alg)
+                    .options(opts)
+                    .build::<f64>()
+                    .expect("plan build failed");
+                let (_, secs) = time_best(reps, || plan.execute(&mrefs).expect("spkadd failed"));
                 if i == 0 {
                     first = secs;
                 }

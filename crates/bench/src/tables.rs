@@ -2,10 +2,15 @@
 //! all eight SpKAdd algorithms across a (k, d) grid, fastest per column
 //! starred, quadratic algorithms skipped past a work guard (the paper's
 //! "could not run" entries).
+//!
+//! Each (algorithm, d, k) cell holds one `SpkAddPlan` across its reps, so
+//! repeated timings measure the steady-state (workspace-reused) path.
+//! `--algorithms hash,sliding-hash,...` restricts the rows (names parsed
+//! with `Algorithm::from_str`).
 
 use crate::{fmt_secs, print_table, refs, time_best, workloads, Args};
 use spk_sparse::CscMatrix;
-use spkadd::{Algorithm, Options};
+use spkadd::{Algorithm, Options, SpkAdd};
 
 /// Runs one runtime table and prints it.
 ///
@@ -31,6 +36,8 @@ pub fn run_runtime_table(
     opts.threads = threads;
     opts.validate_sorted = false; // generated inputs are sorted
 
+    let algs = algorithms_filter(args);
+
     println!(
         "Runtime table (sec): pattern={pattern}, rows={m}, cols={n}, threads={}",
         if threads == 0 {
@@ -47,22 +54,27 @@ pub fn run_runtime_table(
         }
     }
     let mut rows_out: Vec<Vec<String>> = vec![header];
-    let mut cells: Vec<Vec<Option<f64>>> = vec![Vec::new(); Algorithm::ALL.len()];
+    let mut cells: Vec<Vec<Option<f64>>> = vec![Vec::new(); algs.len()];
 
     for &d in &ds {
         for &k in &ks {
             let mats = gen(m, n, d, k, 42);
             let mrefs = refs(&mats);
             let inz = workloads::total_nnz(&mats) as f64;
-            for (ai, alg) in Algorithm::ALL.iter().enumerate() {
+            for (ai, alg) in algs.iter().enumerate() {
                 let est = estimated_work(*alg, inz, k);
                 if est > guard {
                     cells[ai].push(None);
                     continue;
                 }
-                let (_, secs) = time_best(reps, || {
-                    spkadd::spkadd_with(&mrefs, *alg, &opts).expect("spkadd failed")
-                });
+                // One plan per cell, reused across the reps: the timing
+                // measures the steady-state (workspace-retained) path.
+                let mut plan = SpkAdd::new(m, n)
+                    .algorithm(*alg)
+                    .options(opts.clone())
+                    .build::<f64>()
+                    .expect("plan build failed");
+                let (_, secs) = time_best(reps, || plan.execute(&mrefs).expect("spkadd failed"));
                 cells[ai].push(Some(secs));
             }
         }
@@ -78,7 +90,7 @@ pub fn run_runtime_table(
             }
         }
     }
-    for (ai, alg) in Algorithm::ALL.iter().enumerate() {
+    for (ai, alg) in algs.iter().enumerate() {
         let mut row = vec![alg.name().to_string()];
         for (c, v) in cells[ai].iter().enumerate() {
             row.push(match v {
@@ -91,6 +103,22 @@ pub fn run_runtime_table(
     }
     print_table(&rows_out);
     println!("(* = fastest in column; — = skipped by the work guard)");
+}
+
+/// The algorithm rows to run: the paper's eight, or the comma-separated
+/// `--algorithms` subset (parsed via `Algorithm::from_str`, so both the
+/// kebab tokens and the table names are accepted).
+pub fn algorithms_filter(args: &Args) -> Vec<Algorithm> {
+    match args.get("algorithms", String::new()) {
+        s if s.is_empty() => Algorithm::ALL.to_vec(),
+        s => s
+            .split(',')
+            .map(|tok| {
+                tok.parse::<Algorithm>()
+                    .unwrap_or_else(|e| panic!("--algorithms: {e}"))
+            })
+            .collect(),
+    }
 }
 
 /// Rough work estimate used for the "could not run" guard.
@@ -106,6 +134,17 @@ pub fn estimated_work(alg: Algorithm, total_input_nnz: f64, k: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn algorithms_filter_parses_subset() {
+        let a = Args::from_vec(vec!["--algorithms".into(), "hash,Sliding Hash".into()]);
+        assert_eq!(
+            algorithms_filter(&a),
+            vec![Algorithm::Hash, Algorithm::SlidingHash]
+        );
+        let none = Args::from_vec(vec![]);
+        assert_eq!(algorithms_filter(&none), Algorithm::ALL.to_vec());
+    }
 
     #[test]
     fn guard_orders_algorithms() {

@@ -18,6 +18,8 @@ pub enum SpkaddError {
     },
     /// An option combination is invalid (reason in the payload).
     InvalidOptions(String),
+    /// An algorithm name failed to parse (`Algorithm::from_str`).
+    UnknownAlgorithm(String),
 }
 
 impl fmt::Display for SpkaddError {
@@ -32,6 +34,11 @@ impl fmt::Display for SpkaddError {
                  which accept unsorted inputs)"
             ),
             SpkaddError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+            SpkaddError::UnknownAlgorithm(name) => write!(
+                f,
+                "unknown algorithm '{name}' (expected one of: {})",
+                crate::Algorithm::tokens().join(", ")
+            ),
         }
     }
 }

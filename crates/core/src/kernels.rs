@@ -1,7 +1,7 @@
 //! Column-level k-way kernels: one function per (data structure × phase).
 //!
 //! These are the bodies of the paper's Algorithms 3–6 operating on the
-//! `j`-th columns of all `k` inputs. The parallel drivers in [`crate::kway`]
+//! `j`-th columns of all `k` inputs. The parallel drivers in `crate::kway`
 //! call them per column; `spk-cachesim` calls them directly to replay
 //! address streams; the metered drivers call them with a
 //! [`crate::mem::CountingModel`] to validate Table I.

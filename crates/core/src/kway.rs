@@ -5,16 +5,17 @@
 //! driver prefix-sums them into the output column pointer, splits the
 //! output arrays into per-task disjoint windows (no synchronization), and
 //! runs the chosen column kernel over weight-balanced column ranges with
-//! thread-private workspaces.
+//! thread-private workspaces **borrowed from the caller's
+//! [`WorkspacePool`]** — a plan executed repeatedly reuses its tables,
+//! SPA panels, and heap buffers instead of reallocating them per call.
 
-use crate::hashtab::HashAccumulator;
-use crate::heap::KwayHeap;
 use crate::kernels::{hash_add_column, heap_add_column, spa_add_column};
 use crate::mem::NullModel;
-use crate::parallel::{exclusive_prefix_sum, plan_ranges, split_output};
-use crate::sliding::{sliding_add_column, SlidingScratch};
-use crate::spa::{sliding_spa_add_column, Spa};
+use crate::parallel::{exclusive_prefix_sum, exclusive_prefix_sum_into, plan_ranges, split_output};
+use crate::sliding::sliding_add_column;
+use crate::spa::sliding_spa_add_column;
 use crate::symbolic::DriverCtx;
+use crate::workspace::WorkspacePool;
 use rayon::prelude::*;
 use spk_sparse::{ColView, CscMatrix, Scalar};
 
@@ -28,6 +29,25 @@ pub(crate) enum NumericKernel {
     Heap,
 }
 
+/// Output buffers recycled from a previous result (`execute_into`): the
+/// vectors are cleared and refilled, so their capacity is reused when the
+/// steady-state output shape repeats. `Default` yields fresh buffers.
+#[derive(Debug, Default)]
+pub(crate) struct RecycledBufs<T> {
+    pub colptr: Vec<usize>,
+    pub rows: Vec<u32>,
+    pub vals: Vec<T>,
+}
+
+impl<T: Scalar> RecycledBufs<T> {
+    /// Reclaims the buffers of an existing matrix (its contents are
+    /// discarded, its allocations kept).
+    pub fn from_matrix(m: CscMatrix<T>) -> Self {
+        let (_, _, colptr, rows, vals) = m.into_parts();
+        Self { colptr, rows, vals }
+    }
+}
+
 /// Runs the numeric phase. `counts[j]` must be an exact size or an upper
 /// bound for `nnz(B(:,j))`; when it is only an upper bound
 /// (`exact = false`) the result is compacted afterwards.
@@ -37,16 +57,25 @@ pub(crate) fn kway_numeric<T: Scalar>(
     exact: bool,
     kernel: NumericKernel,
     ctx: &DriverCtx,
+    pool: &WorkspacePool<T>,
+    recycle: RecycledBufs<T>,
 ) -> CscMatrix<T> {
     let n = mats[0].ncols();
     let m = mats[0].nrows();
     let k = mats.len();
     debug_assert_eq!(counts.len(), n);
 
-    let colptr = exclusive_prefix_sum(counts);
+    let RecycledBufs {
+        mut colptr,
+        rows: mut rowidx,
+        vals: mut values,
+    } = recycle;
+    exclusive_prefix_sum_into(counts, &mut colptr);
     let nnz_alloc = *colptr.last().unwrap();
-    let mut rowidx = vec![0u32; nnz_alloc];
-    let mut values = vec![T::default(); nnz_alloc];
+    rowidx.clear();
+    rowidx.resize(nnz_alloc, 0u32);
+    values.clear();
+    values.resize(nnz_alloc, T::default());
 
     // Numeric-phase load balancing uses output nonzeros per column (§III-A).
     let ranges = plan_ranges(counts, 0, ctx.sched);
@@ -64,23 +93,16 @@ pub(crate) fn kway_numeric<T: Scalar>(
         }
     }
 
-    // Thread-private workspaces (§III-A): one per worker, reused across
-    // all chunks that worker steals, so the SPA's O(m) array and the hash
-    // tables are allocated T times — not once per chunk.
-    let nthreads = rayon::current_num_threads().max(1);
-    let ws_pool: Vec<std::sync::Mutex<Option<Workspace<T>>>> =
-        (0..nthreads).map(|_| std::sync::Mutex::new(None)).collect();
-
     chunks
         .into_par_iter()
         .zip(actual_parts.into_par_iter())
         .for_each(|(chunk, actual_out)| {
             let mut views: Vec<ColView<'_, T>> = Vec::with_capacity(k);
             let mut mem = NullModel;
-            let tid = rayon::current_thread_index().unwrap_or(0) % nthreads;
-            let mut ws_guard = ws_pool[tid].lock().expect("workspace mutex poisoned");
-            let ws =
-                ws_guard.get_or_insert_with(|| Workspace::<T>::new(kernel, m, k, ctx.budget_add));
+            // Thread-private workspaces (§III-A): one per worker, reused
+            // across all chunks that worker steals — and across plan
+            // executions, because the pool outlives this call.
+            let mut ws = pool.for_current_thread();
             for (slot, j) in chunk.cols.clone().enumerate() {
                 views.clear();
                 views.extend(mats.iter().map(|a| a.col(j)));
@@ -88,41 +110,55 @@ pub(crate) fn kway_numeric<T: Scalar>(
                 let hi = colptr[j + 1] - chunk.base;
                 let out_rows = &mut chunk.rows[lo..hi];
                 let out_vals = &mut chunk.vals[lo..hi];
-                let written = match &mut *ws {
-                    Workspace::Hash(ht) => {
+                let written = match kernel {
+                    NumericKernel::Hash => {
+                        let ht = ws.hash();
                         ht.reserve_for(hi - lo);
                         hash_add_column(&views, ht, out_rows, out_vals, ctx.sorted_output, &mut mem)
                     }
-                    Workspace::Sliding { ht, scratch } => sliding_add_column(
-                        &views,
-                        m,
-                        ctx.budget_add,
-                        hi - lo,
-                        ht,
-                        out_rows,
-                        out_vals,
-                        ctx.sorted_output,
-                        ctx.inputs_sorted,
-                        scratch,
-                        &mut mem,
-                    ),
-                    Workspace::Spa(spa) => {
-                        spa_add_column(&views, spa, out_rows, out_vals, ctx.sorted_output, &mut mem)
+                    NumericKernel::SlidingHash => {
+                        let (ht, scratch) = ws.hash_and_scratch();
+                        sliding_add_column(
+                            &views,
+                            m,
+                            ctx.budget_add,
+                            hi - lo,
+                            ht,
+                            out_rows,
+                            out_vals,
+                            ctx.sorted_output,
+                            ctx.inputs_sorted,
+                            scratch,
+                            &mut mem,
+                        )
                     }
-                    Workspace::SlidingSpa { spa, scratch } => sliding_spa_add_column(
+                    NumericKernel::Spa => spa_add_column(
                         &views,
-                        m,
-                        ctx.budget_add,
-                        spa,
+                        ws.spa(m),
                         out_rows,
                         out_vals,
                         ctx.sorted_output,
-                        ctx.inputs_sorted,
-                        scratch,
                         &mut mem,
                     ),
-                    Workspace::Heap(heap) => {
-                        heap_add_column(&views, heap, out_rows, out_vals, &mut mem)
+                    NumericKernel::SlidingSpa => {
+                        // One cache-resident row panel at a time (the
+                        // §IV-B(b) extension).
+                        let (spa, scratch) = ws.spa_and_scratch(m.min(ctx.budget_add.max(1)));
+                        sliding_spa_add_column(
+                            &views,
+                            m,
+                            ctx.budget_add,
+                            spa,
+                            out_rows,
+                            out_vals,
+                            ctx.sorted_output,
+                            ctx.inputs_sorted,
+                            scratch,
+                            &mut mem,
+                        )
+                    }
+                    NumericKernel::Heap => {
+                        heap_add_column(&views, ws.heap(k), out_rows, out_vals, &mut mem)
                     }
                 };
                 debug_assert!(written <= hi - lo);
@@ -135,42 +171,6 @@ pub(crate) fn kway_numeric<T: Scalar>(
         CscMatrix::from_parts(m, n, colptr, rowidx, values)
     } else {
         compact(m, n, &colptr, &actual, rowidx, values)
-    }
-}
-
-/// Thread-private kernel state, sized per the paper's Table I memory rows:
-/// heap O(k), SPA O(m), hash O(max column output), sliding O(budget).
-enum Workspace<T> {
-    Hash(HashAccumulator<T>),
-    Sliding {
-        ht: HashAccumulator<T>,
-        scratch: SlidingScratch<T>,
-    },
-    Spa(Spa<T>),
-    SlidingSpa {
-        spa: Spa<T>,
-        scratch: SlidingScratch<T>,
-    },
-    Heap(KwayHeap<T>),
-}
-
-impl<T: Scalar> Workspace<T> {
-    fn new(kernel: NumericKernel, m: usize, k: usize, budget_rows: usize) -> Self {
-        match kernel {
-            NumericKernel::Hash => Workspace::Hash(HashAccumulator::with_capacity(16)),
-            NumericKernel::SlidingHash => Workspace::Sliding {
-                ht: HashAccumulator::with_capacity(16),
-                scratch: SlidingScratch::new(),
-            },
-            NumericKernel::Spa => Workspace::Spa(Spa::new(m)),
-            // The sliding SPA covers one cache-resident row panel at a
-            // time (the §IV-B(b) extension).
-            NumericKernel::SlidingSpa => Workspace::SlidingSpa {
-                spa: Spa::new(m.min(budget_rows.max(1))),
-                scratch: SlidingScratch::new(),
-            },
-            NumericKernel::Heap => Workspace::Heap(KwayHeap::new(k)),
-        }
     }
 }
 
@@ -214,6 +214,10 @@ mod tests {
         }
     }
 
+    fn pool() -> WorkspacePool<f64> {
+        WorkspacePool::new(rayon::current_num_threads())
+    }
+
     fn inputs() -> Vec<CscMatrix<f64>> {
         let a = CscMatrix::try_new(
             8,
@@ -248,7 +252,8 @@ mod tests {
         let ms = inputs();
         let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
         let c = ctx();
-        let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c);
+        let ws = pool();
+        let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c, &ws);
         let expect = oracle(&refs);
         for kernel in [
             NumericKernel::Hash,
@@ -256,7 +261,15 @@ mod tests {
             NumericKernel::Spa,
             NumericKernel::Heap,
         ] {
-            let out = kway_numeric(&refs, &counts, true, kernel, &c);
+            let out = kway_numeric(
+                &refs,
+                &counts,
+                true,
+                kernel,
+                &c,
+                &ws,
+                RecycledBufs::default(),
+            );
             assert_eq!(
                 DenseMatrix::from_csc(&out).max_abs_diff(&expect),
                 0.0,
@@ -272,9 +285,18 @@ mod tests {
         let ms = inputs();
         let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
         let c = ctx();
-        let upper = symbolic_counts(&refs, SymbolicStrategy::UpperBound, &c);
-        let exact = symbolic_counts(&refs, SymbolicStrategy::Hash, &c);
-        let out = kway_numeric(&refs, &upper, false, NumericKernel::Hash, &c);
+        let ws = pool();
+        let upper = symbolic_counts(&refs, SymbolicStrategy::UpperBound, &c, &ws);
+        let exact = symbolic_counts(&refs, SymbolicStrategy::Hash, &c, &ws);
+        let out = kway_numeric(
+            &refs,
+            &upper,
+            false,
+            NumericKernel::Hash,
+            &c,
+            &ws,
+            RecycledBufs::default(),
+        );
         assert_eq!(out.nnz(), exact.iter().sum::<usize>());
         assert_eq!(
             DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)),
@@ -288,8 +310,17 @@ mod tests {
         let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
         let mut c = ctx();
         c.sorted_output = false;
-        let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c);
-        let out = kway_numeric(&refs, &counts, true, NumericKernel::Hash, &c);
+        let ws = pool();
+        let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c, &ws);
+        let out = kway_numeric(
+            &refs,
+            &counts,
+            true,
+            NumericKernel::Hash,
+            &c,
+            &ws,
+            RecycledBufs::default(),
+        );
         assert_eq!(
             DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)),
             0.0
@@ -303,8 +334,17 @@ mod tests {
         let mut c = ctx();
         c.budget_add = 16;
         c.budget_sym = 16;
-        let counts = symbolic_counts(&refs, SymbolicStrategy::SlidingHash, &c);
-        let out = kway_numeric(&refs, &counts, true, NumericKernel::SlidingHash, &c);
+        let ws = pool();
+        let counts = symbolic_counts(&refs, SymbolicStrategy::SlidingHash, &c, &ws);
+        let out = kway_numeric(
+            &refs,
+            &counts,
+            true,
+            NumericKernel::SlidingHash,
+            &c,
+            &ws,
+            RecycledBufs::default(),
+        );
         assert_eq!(
             DenseMatrix::from_csc(&out).max_abs_diff(&oracle(&refs)),
             0.0
@@ -317,10 +357,56 @@ mod tests {
         let ms = inputs();
         let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
         let mut c = ctx();
-        let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c);
-        let dynamic = kway_numeric(&refs, &counts, true, NumericKernel::Hash, &c);
+        let ws = pool();
+        let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c, &ws);
+        let dynamic = kway_numeric(
+            &refs,
+            &counts,
+            true,
+            NumericKernel::Hash,
+            &c,
+            &ws,
+            RecycledBufs::default(),
+        );
         c.sched = Scheduling::Static;
-        let stat = kway_numeric(&refs, &counts, true, NumericKernel::Hash, &c);
+        let stat = kway_numeric(
+            &refs,
+            &counts,
+            true,
+            NumericKernel::Hash,
+            &c,
+            &ws,
+            RecycledBufs::default(),
+        );
         assert!(dynamic.approx_eq(&stat, 0.0));
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused() {
+        let ms = inputs();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let c = ctx();
+        let ws = pool();
+        let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c, &ws);
+        let first = kway_numeric(
+            &refs,
+            &counts,
+            true,
+            NumericKernel::Hash,
+            &c,
+            &ws,
+            RecycledBufs::default(),
+        );
+        let expect = first.clone();
+        let again = kway_numeric(
+            &refs,
+            &counts,
+            true,
+            NumericKernel::Hash,
+            &c,
+            &ws,
+            RecycledBufs::from_matrix(first),
+        );
+        assert_eq!(again, expect);
     }
 }

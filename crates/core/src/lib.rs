@@ -21,23 +21,49 @@
 //! *The sliding algorithms use binary-search row panels on sorted inputs
 //! and a bucketing pass otherwise.
 //!
-//! Beyond the per-call API there are [`StreamingAccumulator`] (batched
+//! Beyond the core API there are [`StreamingAccumulator`] (batched
 //! streaming, the paper's future-work mode), [`spkadd_csr`] (row-wise via
 //! zero-copy transpose duality), and [`spkadd_dcsc`] (hypersparse
 //! doubly-compressed operands).
 //!
-//! ## Quick start
+//! ## Quick start: build a plan, execute it
+//!
+//! The front door is a builder → plan → execute lifecycle. [`SpkAdd`]
+//! fixes the shape, algorithm ([`Algorithm::Auto`] picks per collection
+//! with the Fig 2 decision surface), thread count, and machine model;
+//! [`SpkAdd::build`] validates the options and resolves them into a
+//! reusable [`SpkAddPlan`] whose hash tables, SPA panels, heap buffers,
+//! and symbolic scratch persist across executions — the steady-state
+//! path performs **zero** workspace allocations, which is what makes
+//! repeat callers (streaming flushes, aggregation-service shards,
+//! benchmark rep loops) fast.
 //!
 //! ```
 //! use spk_sparse::CscMatrix;
-//! use spkadd::{spkadd_with, Algorithm, Options};
+//! use spkadd::{Algorithm, SpkAdd};
 //!
 //! let a = CscMatrix::<f64>::identity(4);
 //! let b = CscMatrix::<f64>::identity(4);
 //! let c = CscMatrix::<f64>::identity(4);
-//! let sum = spkadd_with(&[&a, &b, &c], Algorithm::Hash, &Options::default()).unwrap();
+//!
+//! let mut plan = SpkAdd::new(4, 4)
+//!     .algorithm(Algorithm::Auto) // or any of the paper's nine
+//!     .threads(1)
+//!     .build()
+//!     .unwrap();
+//! let sum = plan.execute(&[&a, &b, &c]).unwrap();
 //! assert_eq!(sum.get(2, 2).unwrap(), 3.0);
+//!
+//! // Re-execute at will: workspaces (and, with `execute_into`, even the
+//! // output buffers) are reused instead of reallocated.
+//! let again = plan.execute(&[&a, &b, &c]).unwrap();
+//! assert_eq!(again, sum);
 //! ```
+//!
+//! The historical one-shot entry points [`spkadd_with`] /
+//! [`spkadd_with_timings`] / [`spkadd_auto`] remain as thin
+//! compatibility shims over a throwaway plan; prefer holding a
+//! [`SpkAddPlan`] anywhere an addition runs more than once.
 
 pub mod dcscadd;
 pub mod error;
@@ -49,6 +75,7 @@ pub mod libstyle;
 pub mod mem;
 pub mod metered;
 pub mod parallel;
+pub mod plan;
 pub mod rowwise;
 pub mod sliding;
 pub mod spa;
@@ -56,21 +83,20 @@ pub mod streaming;
 pub mod symbolic;
 pub mod tuning;
 pub mod twoway;
+pub mod workspace;
 
 pub use dcscadd::spkadd_dcsc;
 pub use error::SpkaddError;
 pub use mem::{CountingModel, MemModel, NullModel};
 pub use parallel::Scheduling;
+pub use plan::{SpkAdd, SpkAddPlan};
 pub use rowwise::spkadd_csr;
 pub use streaming::{FlushPolicy, StreamingAccumulator};
 pub use symbolic::SymbolicStrategy;
 pub use tuning::{choose_algorithm, CacheConfig};
 pub use twoway::add_pair;
 
-use kway::NumericKernel;
-use sliding::budget_entries;
 use spk_sparse::{common_shape, CscMatrix, Scalar};
-use symbolic::DriverCtx;
 
 /// The SpKAdd algorithm family (see the crate docs for the complexity
 /// table).
@@ -99,6 +125,12 @@ pub enum Algorithm {
     /// paper's §IV-B(b) suggested extension, implemented here and
     /// evaluated by the `ablation_slidingspa` harness.
     SlidingSpa,
+    /// Pick per collection with the Fig 2 decision surface
+    /// ([`choose_algorithm`]): pairwise merge for trivially small
+    /// collections, hash while the tables fit the LLC, sliding hash
+    /// beyond. Resolved at execution time, so one [`SpkAddPlan`] built
+    /// with `Auto` adapts to each collection it executes.
+    Auto,
 }
 
 impl Algorithm {
@@ -131,11 +163,46 @@ impl Algorithm {
             Algorithm::Hash => "Hash",
             Algorithm::SlidingHash => "Sliding Hash",
             Algorithm::SlidingSpa => "Sliding SPA",
+            Algorithm::Auto => "Auto",
         }
     }
 
+    /// Stable kebab-case token, the canonical [`std::str::FromStr`] /
+    /// CLI spelling ([`Algorithm::name`] also parses back).
+    pub fn token(&self) -> &'static str {
+        match self {
+            Algorithm::TwoWayIncremental => "2way-incremental",
+            Algorithm::TwoWayTree => "2way-tree",
+            Algorithm::LibIncremental => "lib-incremental",
+            Algorithm::LibTree => "lib-tree",
+            Algorithm::Heap => "heap",
+            Algorithm::Spa => "spa",
+            Algorithm::Hash => "hash",
+            Algorithm::SlidingHash => "sliding-hash",
+            Algorithm::SlidingSpa => "sliding-spa",
+            Algorithm::Auto => "auto",
+        }
+    }
+
+    /// Every accepted token, for error messages and usage strings.
+    pub fn tokens() -> [&'static str; 10] {
+        [
+            Algorithm::Hash.token(),
+            Algorithm::SlidingHash.token(),
+            Algorithm::Spa.token(),
+            Algorithm::SlidingSpa.token(),
+            Algorithm::Heap.token(),
+            Algorithm::TwoWayTree.token(),
+            Algorithm::TwoWayIncremental.token(),
+            Algorithm::LibTree.token(),
+            Algorithm::LibIncremental.token(),
+            Algorithm::Auto.token(),
+        ]
+    }
+
     /// Whether the algorithm requires sorted, duplicate-free input columns
-    /// (Table I, last column).
+    /// (Table I, last column). [`Algorithm::Auto`] never requires them:
+    /// its resolution falls back to hash for unsorted collections.
     pub fn needs_sorted_inputs(&self) -> bool {
         matches!(
             self,
@@ -151,6 +218,34 @@ impl Algorithm {
 impl std::fmt::Display for Algorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = SpkaddError;
+
+    /// Parses either the kebab-case token ([`Algorithm::token`]) or the
+    /// paper-table display name ([`Algorithm::name`]), case- and
+    /// punctuation-insensitively, so `Display` round-trips.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String = s
+            .chars()
+            .filter(char::is_ascii_alphanumeric)
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Ok(match norm.as_str() {
+            "2wayincremental" | "twowayincremental" => Algorithm::TwoWayIncremental,
+            "2waytree" | "twowaytree" => Algorithm::TwoWayTree,
+            "libincremental" => Algorithm::LibIncremental,
+            "libtree" => Algorithm::LibTree,
+            "heap" => Algorithm::Heap,
+            "spa" => Algorithm::Spa,
+            "hash" => Algorithm::Hash,
+            "slidinghash" => Algorithm::SlidingHash,
+            "slidingspa" => Algorithm::SlidingSpa,
+            "auto" => Algorithm::Auto,
+            _ => return Err(SpkaddError::UnknownAlgorithm(s.to_string())),
+        })
     }
 }
 
@@ -205,6 +300,41 @@ impl Options {
         self.sorted_output = false;
         self
     }
+
+    /// Rejects nonsense configurations up front with a typed error, so
+    /// they surface at plan construction instead of as a downstream
+    /// panic or a silently clamped budget. Called by [`SpkAdd::build`]
+    /// (and therefore by every one-shot entry point).
+    pub fn validate(&self) -> Result<(), SpkaddError> {
+        if self.forced_table_entries == Some(0) {
+            return Err(SpkaddError::InvalidOptions(
+                "forced_table_entries must be at least 1 (a zero-entry sliding \
+                 table could never hold a row)"
+                    .to_string(),
+            ));
+        }
+        if self.cache.llc_bytes == 0 {
+            return Err(SpkaddError::InvalidOptions(
+                "cache.llc_bytes must be nonzero (the sliding budgets divide by \
+                 it; use CacheConfig::detect() or a Table II preset)"
+                    .to_string(),
+            ));
+        }
+        if self.cache.l1_bytes == 0 {
+            return Err(SpkaddError::InvalidOptions(
+                "cache.l1_bytes must be nonzero".to_string(),
+            ));
+        }
+        if let Scheduling::Dynamic {
+            chunks_per_thread: 0,
+        } = self.scheduling
+        {
+            return Err(SpkaddError::InvalidOptions(
+                "Scheduling::Dynamic needs chunks_per_thread >= 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Hash-table entry size in bytes for value type `T` during the numeric
@@ -240,6 +370,11 @@ impl PhaseTimings {
 /// All inputs must share one shape. Algorithms flagged by
 /// [`Algorithm::needs_sorted_inputs`] reject unsorted inputs (unless
 /// `validate_sorted` is off); the hash and SPA families accept anything.
+///
+/// **Compatibility shim**: builds a throwaway [`SpkAddPlan`] and executes
+/// it once, so every call re-allocates the kernel workspaces the plan
+/// exists to amortize. Callers that add more than once should hold a
+/// plan (`SpkAdd::new(m, n).algorithm(alg).build()`) instead.
 pub fn spkadd_with<T: Scalar>(
     mats: &[&CscMatrix<T>],
     alg: Algorithm,
@@ -250,161 +385,32 @@ pub fn spkadd_with<T: Scalar>(
 
 /// Like [`spkadd_with`], additionally reporting the symbolic/numeric
 /// phase split — the quantity Fig 4 sweeps against the hash-table size.
+///
+/// **Compatibility shim** over a throwaway [`SpkAddPlan`]; see
+/// [`spkadd_with`].
 pub fn spkadd_with_timings<T: Scalar>(
     mats: &[&CscMatrix<T>],
     alg: Algorithm,
     opts: &Options,
 ) -> Result<(CscMatrix<T>, PhaseTimings), SpkaddError> {
-    common_shape(mats)?;
-
-    // Sortedness: detect (or trust) once, up front.
-    let inputs_sorted = if opts.validate_sorted {
-        let mut all_sorted = true;
-        for (i, m) in mats.iter().enumerate() {
-            if !m.is_sorted() {
-                if alg.needs_sorted_inputs() {
-                    return Err(SpkaddError::UnsortedInput {
-                        algorithm: alg.name(),
-                        operand: i,
-                    });
-                }
-                if opts.symbolic == SymbolicStrategy::Heap {
-                    return Err(SpkaddError::UnsortedInput {
-                        algorithm: "heap symbolic",
-                        operand: i,
-                    });
-                }
-                all_sorted = false;
-            }
-        }
-        all_sorted
-    } else {
-        true
-    };
-
-    let threads_effective = if opts.threads == 0 {
-        rayon::current_num_threads()
-    } else {
-        opts.threads
-    };
-    let budget_sym = opts.forced_table_entries.unwrap_or_else(|| {
-        budget_entries(
-            opts.cache.llc_bytes,
-            SYMBOLIC_ENTRY_BYTES,
-            threads_effective,
-        )
-    });
-    let budget_add = opts.forced_table_entries.unwrap_or_else(|| {
-        budget_entries(
-            opts.cache.llc_bytes,
-            numeric_entry_bytes::<T>(),
-            threads_effective,
-        )
-    });
-    let ctx = DriverCtx {
-        sched: opts.scheduling,
-        budget_sym,
-        budget_add,
-        inputs_sorted,
-        sorted_output: opts.sorted_output,
-    };
-
-    let sched = opts.scheduling;
-    parallel::run_with_threads(opts.threads, move || {
-        let t0 = std::time::Instant::now();
-        match alg {
-            Algorithm::TwoWayIncremental => Ok((
-                twoway::spkadd_incremental(mats, 0, sched),
-                PhaseTimings {
-                    symbolic: 0.0,
-                    numeric: t0.elapsed().as_secs_f64(),
-                },
-            )),
-            Algorithm::TwoWayTree => Ok((
-                twoway::spkadd_tree(mats, 0, sched),
-                PhaseTimings {
-                    symbolic: 0.0,
-                    numeric: t0.elapsed().as_secs_f64(),
-                },
-            )),
-            Algorithm::LibIncremental => Ok((
-                libstyle::lib_incremental(mats),
-                PhaseTimings {
-                    symbolic: 0.0,
-                    numeric: t0.elapsed().as_secs_f64(),
-                },
-            )),
-            Algorithm::LibTree => Ok((
-                libstyle::lib_tree(mats),
-                PhaseTimings {
-                    symbolic: 0.0,
-                    numeric: t0.elapsed().as_secs_f64(),
-                },
-            )),
-            Algorithm::Heap
-            | Algorithm::Spa
-            | Algorithm::Hash
-            | Algorithm::SlidingHash
-            | Algorithm::SlidingSpa => {
-                // Alg 8 line 2: the sliding algorithm's symbolic phase
-                // slides too, unless the caller explicitly picked another
-                // strategy.
-                let strategy =
-                    if alg == Algorithm::SlidingHash && opts.symbolic == SymbolicStrategy::Hash {
-                        SymbolicStrategy::SlidingHash
-                    } else {
-                        opts.symbolic
-                    };
-                let counts = symbolic::symbolic_counts(mats, strategy, &ctx);
-                let symbolic_secs = t0.elapsed().as_secs_f64();
-                let exact = strategy != SymbolicStrategy::UpperBound;
-                let kernel = match alg {
-                    Algorithm::Heap => NumericKernel::Heap,
-                    Algorithm::Spa => NumericKernel::Spa,
-                    Algorithm::Hash => NumericKernel::Hash,
-                    Algorithm::SlidingHash => NumericKernel::SlidingHash,
-                    Algorithm::SlidingSpa => NumericKernel::SlidingSpa,
-                    _ => unreachable!(),
-                };
-                let t1 = std::time::Instant::now();
-                let out = kway::kway_numeric(mats, &counts, exact, kernel, &ctx);
-                Ok((
-                    out,
-                    PhaseTimings {
-                        symbolic: symbolic_secs,
-                        numeric: t1.elapsed().as_secs_f64(),
-                    },
-                ))
-            }
-        }
-    })
+    let (nrows, ncols) = common_shape(mats)?;
+    let mut plan = SpkAdd::new(nrows, ncols)
+        .algorithm(alg)
+        .options(opts.clone())
+        .build::<T>()?;
+    plan.execute_timed(mats)
 }
 
 /// Adds a collection of sparse matrices, picking the algorithm with the
 /// Fig 2 decision surface ([`choose_algorithm`]).
+///
+/// **Compatibility shim** for `spkadd_with(mats, Algorithm::Auto, opts)`;
+/// see [`spkadd_with`].
 pub fn spkadd_auto<T: Scalar>(
     mats: &[&CscMatrix<T>],
     opts: &Options,
 ) -> Result<CscMatrix<T>, SpkaddError> {
-    let (_, n) = common_shape(mats)?;
-    let total: usize = mats.iter().map(|m| m.nnz()).sum();
-    let avg_out = if n == 0 { 0 } else { total / n.max(1) };
-    let threads = if opts.threads == 0 {
-        rayon::current_num_threads()
-    } else {
-        opts.threads
-    };
-    let mut alg = choose_algorithm(
-        mats.len(),
-        avg_out,
-        numeric_entry_bytes::<T>(),
-        threads,
-        &opts.cache,
-    );
-    if alg.needs_sorted_inputs() && mats.iter().any(|m| !m.is_sorted()) {
-        alg = Algorithm::Hash;
-    }
-    spkadd_with(mats, alg, opts)
+    spkadd_with(mats, Algorithm::Auto, opts)
 }
 
 #[cfg(test)]
@@ -551,5 +557,59 @@ mod tests {
         assert_eq!(numeric_entry_bytes::<f32>(), 8);
         assert_eq!(numeric_entry_bytes::<f64>(), 12);
         assert_eq!(SYMBOLIC_ENTRY_BYTES, 4);
+    }
+
+    #[test]
+    fn algorithm_parse_display_round_trip() {
+        for alg in Algorithm::ALL
+            .into_iter()
+            .chain(Algorithm::EXTENSIONS)
+            .chain([Algorithm::Auto])
+        {
+            assert_eq!(alg.to_string().parse::<Algorithm>().unwrap(), alg);
+            assert_eq!(alg.token().parse::<Algorithm>().unwrap(), alg);
+        }
+        assert_eq!("HASH".parse::<Algorithm>().unwrap(), Algorithm::Hash);
+        let err = "quantum".parse::<Algorithm>().unwrap_err();
+        assert!(matches!(err, SpkaddError::UnknownAlgorithm(_)));
+        assert!(err.to_string().contains("sliding-hash"), "lists tokens");
+    }
+
+    #[test]
+    fn auto_algorithm_matches_spkadd_auto() {
+        let ms = collection();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let via_auto_fn = spkadd_auto(&refs, &Options::default()).unwrap();
+        let via_variant = spkadd_with(&refs, Algorithm::Auto, &Options::default()).unwrap();
+        assert_eq!(via_auto_fn, via_variant);
+        assert!(!Algorithm::Auto.needs_sorted_inputs());
+        assert!(
+            !Algorithm::ALL.contains(&Algorithm::Auto),
+            "not a paper row"
+        );
+    }
+
+    #[test]
+    fn invalid_options_rejected_up_front() {
+        let ms = collection();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let mut opts = Options::default();
+        opts.forced_table_entries = Some(0);
+        assert!(matches!(
+            spkadd_with(&refs, Algorithm::SlidingHash, &opts),
+            Err(SpkaddError::InvalidOptions(_))
+        ));
+        let mut opts = Options::default();
+        opts.cache.llc_bytes = 0;
+        assert!(matches!(
+            opts.validate(),
+            Err(SpkaddError::InvalidOptions(_))
+        ));
+        let mut opts = Options::default();
+        opts.scheduling = Scheduling::Dynamic {
+            chunks_per_thread: 0,
+        };
+        assert!(opts.validate().is_err());
+        assert!(Options::default().validate().is_ok());
     }
 }

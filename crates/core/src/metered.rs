@@ -122,6 +122,13 @@ pub fn trace_spkadd<T: Scalar, M: MemModel>(
                     .to_string(),
             ))
         }
+        Algorithm::Auto => {
+            return Err(SpkaddError::InvalidOptions(
+                "metering needs a concrete algorithm; Auto resolves per \
+                 collection in the plan front door"
+                    .to_string(),
+            ))
+        }
         Algorithm::Heap
         | Algorithm::Spa
         | Algorithm::Hash

@@ -109,14 +109,23 @@ pub fn plan_ranges(weights: &[usize], threads: usize, sched: Scheduling) -> Vec<
 /// Exclusive prefix sum: turns per-column counts into a CSC column-pointer
 /// array of length `counts.len() + 1`.
 pub fn exclusive_prefix_sum(counts: &[usize]) -> Vec<usize> {
-    let mut out = Vec::with_capacity(counts.len() + 1);
+    let mut out = Vec::new();
+    exclusive_prefix_sum_into(counts, &mut out);
+    out
+}
+
+/// [`exclusive_prefix_sum`] into a caller-provided vector, reusing its
+/// capacity (the plan/execute steady-state path recycles column pointers
+/// this way).
+pub fn exclusive_prefix_sum_into(counts: &[usize], out: &mut Vec<usize>) {
+    out.clear();
+    out.reserve(counts.len() + 1);
     let mut acc = 0usize;
     out.push(0);
     for &c in counts {
         acc += c;
         out.push(acc);
     }
-    out
 }
 
 /// A task's mutable window into the output arrays: the columns `cols`,

@@ -1,0 +1,551 @@
+//! The plan/execute front door: build a reusable [`SpkAddPlan`] once,
+//! execute it over many collections.
+//!
+//! The paper's k-way algorithms split into a symbolic phase (output
+//! structure + table budgets, §II-D) and a numeric phase. A one-shot call
+//! re-derives the machine budgets and reallocates every hash table, SPA
+//! panel, and heap buffer; repeat callers — a streaming accumulator
+//! flushing thousands of batches, an aggregation-service shard, a
+//! benchmark rep loop — pay that setup on every call. [`SpkAdd`] is the
+//! builder that resolves those decisions once into a [`SpkAddPlan`]
+//! holding the algorithm choice, scheduling policy, sliding budgets, and
+//! a per-thread [`WorkspacePool`] that
+//! [`SpkAddPlan::execute`] reuses across calls: after the first
+//! execution at a steady shape, the steady-state path performs zero
+//! workspace allocations (asserted by `tests/plan_reuse.rs`).
+//!
+//! ```
+//! use spk_sparse::CscMatrix;
+//! use spkadd::{Algorithm, SpkAdd};
+//!
+//! let a = CscMatrix::<f64>::identity(4);
+//! let b = CscMatrix::<f64>::identity(4);
+//! let mut plan = SpkAdd::new(4, 4).algorithm(Algorithm::Hash).build().unwrap();
+//! for _ in 0..3 {
+//!     let sum = plan.execute(&[&a, &b]).unwrap(); // workspaces reused
+//!     assert_eq!(sum.get(1, 1).unwrap(), 2.0);
+//! }
+//! assert_eq!(plan.executions(), 3);
+//! ```
+
+use crate::kway::{kway_numeric, NumericKernel, RecycledBufs};
+use crate::parallel::Scheduling;
+use crate::sliding::budget_entries;
+use crate::symbolic::{symbolic_counts, DriverCtx, SymbolicStrategy};
+use crate::tuning::{choose_algorithm, CacheConfig};
+use crate::workspace::WorkspacePool;
+use crate::{
+    libstyle, numeric_entry_bytes, twoway, Algorithm, Options, PhaseTimings, SpkaddError,
+    SYMBOLIC_ENTRY_BYTES,
+};
+use spk_sparse::{common_shape, CscMatrix, Scalar, SparseError};
+
+/// Builder for a [`SpkAddPlan`]: fixes the output shape, algorithm, and
+/// execution options up front so the plan can resolve budgets and size
+/// its workspaces once.
+///
+/// Defaults match [`Options::default`] with [`Algorithm::Auto`].
+#[derive(Debug, Clone)]
+pub struct SpkAdd {
+    nrows: usize,
+    ncols: usize,
+    algorithm: Algorithm,
+    opts: Options,
+}
+
+impl SpkAdd {
+    /// Starts a plan for collections of `nrows × ncols` matrices.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            algorithm: Algorithm::Auto,
+            opts: Options::default(),
+        }
+    }
+
+    /// Selects the algorithm ([`Algorithm::Auto`] resolves per execution
+    /// from the collection shape, Fig 2).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Worker threads; 0 uses the ambient rayon pool.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Machine model for the sliding budgets (Alg 7/8).
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.opts.cache = cache;
+        self
+    }
+
+    /// Column-scheduling policy (§III-A).
+    pub fn scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.opts.scheduling = scheduling;
+        self
+    }
+
+    /// Symbolic-phase strategy (§II-D).
+    pub fn symbolic(mut self, symbolic: SymbolicStrategy) -> Self {
+        self.opts.symbolic = symbolic;
+        self
+    }
+
+    /// Whether output columns are emitted sorted by row index.
+    pub fn sorted_output(mut self, sorted: bool) -> Self {
+        self.opts.sorted_output = sorted;
+        self
+    }
+
+    /// Overrides the sliding-table budget in entries (Fig 4's x-axis).
+    pub fn table_entries(mut self, entries: usize) -> Self {
+        self.opts.forced_table_entries = Some(entries);
+        self
+    }
+
+    /// Whether executions check input sortedness up front.
+    pub fn validate_sorted(mut self, validate: bool) -> Self {
+        self.opts.validate_sorted = validate;
+        self
+    }
+
+    /// Replaces the whole option set (for callers that already hold an
+    /// [`Options`]).
+    pub fn options(mut self, opts: Options) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Resolves the builder into a reusable plan, validating the options
+    /// ([`Options::validate`]) and deriving the sliding budgets from the
+    /// machine model.
+    pub fn build<T: Scalar>(self) -> Result<SpkAddPlan<T>, SpkaddError> {
+        self.opts.validate()?;
+        let workers = if self.opts.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.opts.threads
+        };
+        let budget_sym = self.opts.forced_table_entries.unwrap_or_else(|| {
+            budget_entries(self.opts.cache.llc_bytes, SYMBOLIC_ENTRY_BYTES, workers)
+        });
+        let budget_add = self.opts.forced_table_entries.unwrap_or_else(|| {
+            budget_entries(
+                self.opts.cache.llc_bytes,
+                numeric_entry_bytes::<T>(),
+                workers,
+            )
+        });
+        // With an explicit thread count the rayon pool is part of the
+        // plan too: built once here, installed per execution — not
+        // rebuilt per call like the one-shot path's `run_with_threads`.
+        let thread_pool = if self.opts.threads == 0 {
+            None
+        } else {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(self.opts.threads)
+                    .build()
+                    .map_err(|e| {
+                        SpkaddError::InvalidOptions(format!("failed to build thread pool: {e}"))
+                    })?,
+            )
+        };
+        Ok(SpkAddPlan {
+            shape: (self.nrows, self.ncols),
+            algorithm: self.algorithm,
+            opts: self.opts,
+            workers,
+            budget_sym,
+            budget_add,
+            pool: WorkspacePool::new(workers),
+            thread_pool,
+            executions: 0,
+        })
+    }
+}
+
+/// A resolved, reusable SpKAdd execution plan.
+///
+/// Built by [`SpkAdd::build`]; holds the algorithm decision, scheduling
+/// policy, sliding budgets, and per-thread workspaces. Execute it as
+/// many times as you like — the symbolic/numeric drivers borrow the
+/// retained workspaces instead of reallocating them, and
+/// [`SpkAddPlan::execute_into`] additionally recycles the output
+/// buffers of a previous result.
+#[derive(Debug)]
+pub struct SpkAddPlan<T: Scalar> {
+    shape: (usize, usize),
+    algorithm: Algorithm,
+    opts: Options,
+    workers: usize,
+    budget_sym: usize,
+    budget_add: usize,
+    pool: WorkspacePool<T>,
+    /// Dedicated rayon pool when `threads > 0`; `None` uses the ambient
+    /// pool. Retained so repeat executions don't respawn workers.
+    thread_pool: Option<rayon::ThreadPool>,
+    executions: u64,
+}
+
+impl<T: Scalar> SpkAddPlan<T> {
+    /// Shape every executed collection must have.
+    pub fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// The configured algorithm (possibly [`Algorithm::Auto`]).
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The options the plan was built with.
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// Resolved worker count (threads sharing the LLC budgets).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of completed executions.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Workspace component builds so far — constant across executions at
+    /// a steady shape (the amortization the plan exists for).
+    pub fn workspace_allocations(&self) -> u64 {
+        self.pool.allocations()
+    }
+
+    /// Adds the collection, returning a fresh output matrix.
+    pub fn execute(&mut self, mats: &[&CscMatrix<T>]) -> Result<CscMatrix<T>, SpkaddError> {
+        self.run(mats, RecycledBufs::default()).map(|(out, _)| out)
+    }
+
+    /// Like [`SpkAddPlan::execute`], also reporting the symbolic/numeric
+    /// phase split (the series of Fig 4).
+    pub fn execute_timed(
+        &mut self,
+        mats: &[&CscMatrix<T>],
+    ) -> Result<(CscMatrix<T>, PhaseTimings), SpkaddError> {
+        self.run(mats, RecycledBufs::default())
+    }
+
+    /// Adds the collection into `sink`, recycling the sink's buffers for
+    /// the new result. The exact k-way path (heap/SPA/hash/sliding with a
+    /// counting symbolic phase — every default configuration) reuses
+    /// their capacity, so steady-shape repeat executions allocate no
+    /// output memory either; the 2-way/library algorithms and the
+    /// `UpperBound` compaction path build their output internally and
+    /// gain only the workspace reuse. On error the sink is left empty.
+    pub fn execute_into(
+        &mut self,
+        mats: &[&CscMatrix<T>],
+        sink: &mut CscMatrix<T>,
+    ) -> Result<(), SpkaddError> {
+        let recycled = std::mem::replace(sink, CscMatrix::zeros(0, 0));
+        let (out, _) = self.run(mats, RecycledBufs::from_matrix(recycled))?;
+        *sink = out;
+        Ok(())
+    }
+
+    /// Resolves [`Algorithm::Auto`] against this collection (Fig 2).
+    fn resolve(&self, mats: &[&CscMatrix<T>], inputs_sorted: bool) -> Algorithm {
+        if self.algorithm != Algorithm::Auto {
+            return self.algorithm;
+        }
+        let n = self.shape.1;
+        let total: usize = mats.iter().map(|m| m.nnz()).sum();
+        let avg_out = if n == 0 { 0 } else { total / n.max(1) };
+        let mut alg = choose_algorithm(
+            mats.len(),
+            avg_out,
+            numeric_entry_bytes::<T>(),
+            self.workers,
+            &self.opts.cache,
+        );
+        if alg.needs_sorted_inputs() {
+            // `validate_sorted = false` skips the up-front scan, but Auto
+            // must never commit to a sorted-only algorithm on unsorted
+            // inputs — a pairwise merge would silently mis-sum. Only
+            // reached when the resolver picks one (k <= 2), so the scan
+            // stays off the common path.
+            let sorted = if self.opts.validate_sorted {
+                inputs_sorted
+            } else {
+                mats.iter().all(|m| m.is_sorted())
+            };
+            if !sorted {
+                alg = Algorithm::Hash;
+            }
+        }
+        alg
+    }
+
+    /// Sortedness: detect (or trust) once per execution, failing fast for
+    /// algorithms that require sorted inputs.
+    fn detect_sorted(&self, mats: &[&CscMatrix<T>]) -> Result<bool, SpkaddError> {
+        if !self.opts.validate_sorted {
+            return Ok(true);
+        }
+        let mut all_sorted = true;
+        for (i, m) in mats.iter().enumerate() {
+            if !m.is_sorted() {
+                if self.algorithm.needs_sorted_inputs() {
+                    return Err(SpkaddError::UnsortedInput {
+                        algorithm: self.algorithm.name(),
+                        operand: i,
+                    });
+                }
+                if self.opts.symbolic == SymbolicStrategy::Heap {
+                    return Err(SpkaddError::UnsortedInput {
+                        algorithm: "heap symbolic",
+                        operand: i,
+                    });
+                }
+                all_sorted = false;
+            }
+        }
+        Ok(all_sorted)
+    }
+
+    fn run(
+        &mut self,
+        mats: &[&CscMatrix<T>],
+        recycle: RecycledBufs<T>,
+    ) -> Result<(CscMatrix<T>, PhaseTimings), SpkaddError> {
+        let shape = common_shape(mats)?;
+        if shape != self.shape {
+            return Err(SpkaddError::Sparse(SparseError::DimensionMismatch {
+                expected: self.shape,
+                found: shape,
+                operand: 0,
+            }));
+        }
+        let inputs_sorted = self.detect_sorted(mats)?;
+        let alg = self.resolve(mats, inputs_sorted);
+        debug_assert_ne!(
+            alg,
+            Algorithm::Auto,
+            "resolution yields concrete algorithms"
+        );
+
+        let ctx = DriverCtx {
+            sched: self.opts.scheduling,
+            budget_sym: self.budget_sym,
+            budget_add: self.budget_add,
+            inputs_sorted,
+            sorted_output: self.opts.sorted_output,
+        };
+        let sched = self.opts.scheduling;
+        let symbolic = self.opts.symbolic;
+        let pool = &self.pool;
+        let body = move || {
+            let t0 = std::time::Instant::now();
+            match alg {
+                Algorithm::Auto => unreachable!("resolved above"),
+                Algorithm::TwoWayIncremental => (
+                    twoway::spkadd_incremental(mats, 0, sched),
+                    PhaseTimings {
+                        symbolic: 0.0,
+                        numeric: t0.elapsed().as_secs_f64(),
+                    },
+                ),
+                Algorithm::TwoWayTree => (
+                    twoway::spkadd_tree(mats, 0, sched),
+                    PhaseTimings {
+                        symbolic: 0.0,
+                        numeric: t0.elapsed().as_secs_f64(),
+                    },
+                ),
+                Algorithm::LibIncremental => (
+                    libstyle::lib_incremental(mats),
+                    PhaseTimings {
+                        symbolic: 0.0,
+                        numeric: t0.elapsed().as_secs_f64(),
+                    },
+                ),
+                Algorithm::LibTree => (
+                    libstyle::lib_tree(mats),
+                    PhaseTimings {
+                        symbolic: 0.0,
+                        numeric: t0.elapsed().as_secs_f64(),
+                    },
+                ),
+                Algorithm::Heap
+                | Algorithm::Spa
+                | Algorithm::Hash
+                | Algorithm::SlidingHash
+                | Algorithm::SlidingSpa => {
+                    // Alg 8 line 2: the sliding algorithm's symbolic phase
+                    // slides too, unless the caller explicitly picked
+                    // another strategy.
+                    let strategy =
+                        if alg == Algorithm::SlidingHash && symbolic == SymbolicStrategy::Hash {
+                            SymbolicStrategy::SlidingHash
+                        } else {
+                            symbolic
+                        };
+                    let counts = symbolic_counts(mats, strategy, &ctx, pool);
+                    let symbolic_secs = t0.elapsed().as_secs_f64();
+                    let exact = strategy != SymbolicStrategy::UpperBound;
+                    let kernel = match alg {
+                        Algorithm::Heap => NumericKernel::Heap,
+                        Algorithm::Spa => NumericKernel::Spa,
+                        Algorithm::Hash => NumericKernel::Hash,
+                        Algorithm::SlidingHash => NumericKernel::SlidingHash,
+                        Algorithm::SlidingSpa => NumericKernel::SlidingSpa,
+                        _ => unreachable!(),
+                    };
+                    let t1 = std::time::Instant::now();
+                    let out = kway_numeric(mats, &counts, exact, kernel, &ctx, pool, recycle);
+                    (
+                        out,
+                        PhaseTimings {
+                            symbolic: symbolic_secs,
+                            numeric: t1.elapsed().as_secs_f64(),
+                        },
+                    )
+                }
+            }
+        };
+        let result = match &self.thread_pool {
+            Some(tp) => tp.install(body),
+            None => body(),
+        };
+        self.executions += 1;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spk_sparse::DenseMatrix;
+
+    fn shifted_diag(n: usize, s: u32) -> CscMatrix<f64> {
+        let colptr = (0..=n).collect();
+        let rows = (0..n as u32).map(|j| (j + s) % n as u32).collect();
+        CscMatrix::try_new(n, n, colptr, rows, vec![1.0; n]).unwrap()
+    }
+
+    #[test]
+    fn plan_executes_repeatedly_with_stable_workspaces() {
+        let mats: Vec<CscMatrix<f64>> = (0..5).map(|i| shifted_diag(16, i)).collect();
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let mut plan = SpkAdd::new(16, 16)
+            .algorithm(Algorithm::Hash)
+            .threads(1)
+            .build::<f64>()
+            .unwrap();
+        let first = plan.execute(&refs).unwrap();
+        let after_first = plan.workspace_allocations();
+        assert!(after_first > 0, "first execution builds the tables");
+        for _ in 0..5 {
+            let again = plan.execute(&refs).unwrap();
+            assert_eq!(again, first);
+        }
+        assert_eq!(
+            plan.workspace_allocations(),
+            after_first,
+            "steady-state executions allocate no workspaces"
+        );
+        assert_eq!(plan.executions(), 6);
+    }
+
+    #[test]
+    fn execute_into_recycles_the_sink() {
+        let mats: Vec<CscMatrix<f64>> = (0..4).map(|i| shifted_diag(8, i)).collect();
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let mut plan = SpkAdd::new(8, 8)
+            .algorithm(Algorithm::Hash)
+            .build::<f64>()
+            .unwrap();
+        let expect = plan.execute(&refs).unwrap();
+        let mut sink = CscMatrix::zeros(0, 0);
+        plan.execute_into(&refs, &mut sink).unwrap();
+        assert_eq!(sink, expect);
+        plan.execute_into(&refs, &mut sink).unwrap();
+        assert_eq!(sink, expect);
+    }
+
+    #[test]
+    fn plan_rejects_wrong_shapes() {
+        let mut plan = SpkAdd::new(8, 8).build::<f64>().unwrap();
+        let m = CscMatrix::<f64>::zeros(9, 8);
+        assert!(matches!(
+            plan.execute(&[&m]),
+            Err(SpkaddError::Sparse(SparseError::DimensionMismatch { .. }))
+        ));
+        assert!(plan.execute(&[]).is_err(), "empty collection rejected");
+    }
+
+    #[test]
+    fn auto_resolves_per_collection() {
+        let mats: Vec<CscMatrix<f64>> = (0..6).map(|i| shifted_diag(12, i % 4)).collect();
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let mut plan = SpkAdd::new(12, 12).build::<f64>().unwrap();
+        assert_eq!(plan.algorithm(), Algorithm::Auto);
+        let out = plan.execute(&refs).unwrap();
+        let mut expect = DenseMatrix::zeros(12, 12);
+        for m in &mats {
+            expect.add_assign(&DenseMatrix::from_csc(m)).unwrap();
+        }
+        assert_eq!(DenseMatrix::from_csc(&out).max_abs_diff(&expect), 0.0);
+        // k = 2 resolves to the pairwise merge; still exact (the two
+        // shifted diagonals are disjoint, so every entry survives).
+        let pair = plan.execute(&refs[..2]).unwrap();
+        assert_eq!(pair.nnz(), refs[0].nnz() + refs[1].nnz());
+    }
+
+    #[test]
+    fn auto_never_picks_a_sorted_only_algorithm_on_unsorted_inputs() {
+        // k = 2 resolves to the pairwise merge, which silently mis-sums
+        // unsorted columns — Auto must scan and fall back to Hash even
+        // when validate_sorted is off (the caller's promise covers the
+        // algorithm they picked, not the resolver's choice).
+        let a = CscMatrix::try_new(4, 1, vec![0, 3], vec![3, 0, 2], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = CscMatrix::try_new(4, 1, vec![0, 2], vec![2, 0], vec![10.0, 20.0]).unwrap();
+        assert!(!a.is_sorted());
+        let mut plan = SpkAdd::new(4, 1)
+            .validate_sorted(false)
+            .build::<f64>()
+            .unwrap();
+        let out = plan.execute(&[&a, &b]).unwrap();
+        let mut expect = DenseMatrix::zeros(4, 1);
+        expect.add_assign(&DenseMatrix::from_csc(&a)).unwrap();
+        expect.add_assign(&DenseMatrix::from_csc(&b)).unwrap();
+        assert_eq!(DenseMatrix::from_csc(&out).max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn explicit_thread_plan_reuses_its_rayon_pool() {
+        let mats: Vec<CscMatrix<f64>> = (0..3).map(|i| shifted_diag(8, i)).collect();
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let mut plan = SpkAdd::new(8, 8)
+            .algorithm(Algorithm::Hash)
+            .threads(2)
+            .build::<f64>()
+            .unwrap();
+        assert!(plan.thread_pool.is_some(), "threads > 0 caches a pool");
+        let first = plan.execute(&refs).unwrap();
+        assert_eq!(plan.execute(&refs).unwrap(), first);
+        assert_eq!(plan.workers(), 2);
+    }
+
+    #[test]
+    fn build_validates_options() {
+        let err = SpkAdd::new(4, 4)
+            .table_entries(0)
+            .build::<f64>()
+            .unwrap_err();
+        assert!(matches!(err, SpkaddError::InvalidOptions(_)));
+    }
+}

@@ -13,7 +13,7 @@
 use crate::parallel::Scheduling;
 use crate::sliding::budget_entries;
 use crate::twoway::add_pair;
-use crate::{numeric_entry_bytes, spkadd_with, Algorithm, Options, SpkaddError};
+use crate::{numeric_entry_bytes, Algorithm, Options, SpkAdd, SpkAddPlan, SpkaddError};
 use spk_sparse::{CscMatrix, Scalar, SparseError};
 
 /// When a [`StreamingAccumulator`] reduces its pending batch.
@@ -55,6 +55,12 @@ impl FlushPolicy {
 }
 
 /// Incrementally accumulates a stream of same-shape sparse matrices.
+///
+/// Every batch reduction runs through one retained [`SpkAddPlan`] (built
+/// lazily on the first flush), so a long-lived accumulator — e.g. an
+/// aggregation-service shard flushing thousands of batches at a fixed
+/// shape — reuses its hash tables and SPA panels instead of reallocating
+/// them per flush.
 #[derive(Debug)]
 pub struct StreamingAccumulator<T: Scalar> {
     shape: (usize, usize),
@@ -64,6 +70,9 @@ pub struct StreamingAccumulator<T: Scalar> {
     nnz_budget: usize,
     algorithm: Algorithm,
     opts: Options,
+    /// The retained batch-reduction plan; `None` until the first flush
+    /// (building it eagerly would charge never-flushed accumulators).
+    plan: Option<SpkAddPlan<T>>,
     pending: Vec<CscMatrix<T>>,
     pending_nnz: usize,
     total: Option<CscMatrix<T>>,
@@ -110,6 +119,7 @@ impl<T: Scalar> StreamingAccumulator<T> {
             nnz_budget,
             algorithm,
             opts,
+            plan: None,
             pending: Vec::new(),
             pending_nnz: 0,
             total: None,
@@ -176,13 +186,29 @@ impl<T: Scalar> StreamingAccumulator<T> {
         Ok(())
     }
 
-    /// Reduces the pending batch into the running total now.
+    /// The retained batch-reduction plan (`None` before the first flush).
+    pub fn plan(&self) -> Option<&SpkAddPlan<T>> {
+        self.plan.as_ref()
+    }
+
+    /// Reduces the pending batch into the running total now, through the
+    /// retained plan (built on first use).
     pub fn flush(&mut self) -> Result<(), SpkaddError> {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let plan = match self.plan.as_mut() {
+            Some(p) => p,
+            None => {
+                let built = SpkAdd::new(self.shape.0, self.shape.1)
+                    .algorithm(self.algorithm)
+                    .options(self.opts.clone())
+                    .build::<T>()?;
+                self.plan.insert(built)
+            }
+        };
         let refs: Vec<&CscMatrix<T>> = self.pending.iter().collect();
-        let batch_sum = spkadd_with(&refs, self.algorithm, &self.opts)?;
+        let batch_sum = plan.execute(&refs)?;
         self.pending.clear();
         self.pending_nnz = 0;
         self.batches_flushed += 1;
@@ -216,6 +242,7 @@ impl<T: Scalar> StreamingAccumulator<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spkadd_with;
     use spk_sparse::DenseMatrix;
 
     fn shifted_diag(n: usize, s: u32) -> CscMatrix<f64> {
@@ -358,6 +385,27 @@ mod tests {
             DenseMatrix::from_csc(current).get(0, 0),
             2.0,
             "two diagonals accumulated"
+        );
+    }
+
+    #[test]
+    fn flushes_route_through_one_retained_plan() {
+        let mut acc = StreamingAccumulator::with_defaults(16, 16, 2);
+        assert!(acc.plan().is_none(), "plan is built on first flush");
+        acc.push(shifted_diag(16, 0)).unwrap();
+        acc.push(shifted_diag(16, 1)).unwrap(); // first flush
+        let after_first = acc.plan().unwrap().workspace_allocations();
+        assert!(after_first > 0);
+        for i in 2..8 {
+            acc.push(shifted_diag(16, i)).unwrap();
+        }
+        assert_eq!(acc.batches_flushed(), 4);
+        let plan = acc.plan().unwrap();
+        assert_eq!(plan.executions(), 4, "every flush went through the plan");
+        assert_eq!(
+            plan.workspace_allocations(),
+            after_first,
+            "steady-shape flushes reuse the workspaces"
         );
     }
 

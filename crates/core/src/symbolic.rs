@@ -8,13 +8,11 @@
 //! skips the symbolic pass at the cost of a compaction after the numeric
 //! phase — the trade-off explored by the `ablation_symbolic` harness.
 
-use crate::hashtab::SymbolicHashTable;
-use crate::heap::KwayHeap;
 use crate::kernels::{hash_symbolic_column, heap_symbolic_column, spa_symbolic_column};
 use crate::mem::NullModel;
 use crate::parallel::{plan_ranges, Scheduling};
-use crate::sliding::{sliding_symbolic_column, SlidingScratch};
-use crate::spa::Spa;
+use crate::sliding::sliding_symbolic_column;
+use crate::workspace::WorkspacePool;
 use rayon::prelude::*;
 use spk_sparse::{ColView, CscMatrix, Scalar};
 
@@ -65,14 +63,19 @@ pub fn input_nnz_per_column<T: Scalar>(mats: &[&CscMatrix<T>]) -> Vec<usize> {
     w
 }
 
-/// Computes `nnz(B(:,j))` for all columns in parallel.
+/// Computes `nnz(B(:,j))` for all columns in parallel, borrowing
+/// thread-private symbolic state from `pool` (§III-A) — the SPA symbolic
+/// state is O(m), so per-call allocation would charge it to every
+/// execution of a reused plan.
 pub(crate) fn symbolic_counts<T: Scalar>(
     mats: &[&CscMatrix<T>],
     strategy: SymbolicStrategy,
     ctx: &DriverCtx,
+    pool: &WorkspacePool<T>,
 ) -> Vec<usize> {
     let n = mats[0].ncols();
     let m = mats[0].nrows();
+    let k = mats.len();
     let weights = input_nnz_per_column(mats);
     if strategy == SymbolicStrategy::UpperBound {
         return weights;
@@ -88,69 +91,40 @@ pub(crate) fn symbolic_counts<T: Scalar>(
             rest = tail;
         }
     }
-    // Thread-private symbolic workspaces, one per worker (§III-A) — the
-    // SPA symbolic state is O(m), so per-chunk allocation would multiply
-    // it by the over-decomposition factor.
-    let nthreads = rayon::current_num_threads().max(1);
-    let ws_pool: Vec<std::sync::Mutex<Option<SymWorkspace<T>>>> =
-        (0..nthreads).map(|_| std::sync::Mutex::new(None)).collect();
 
     tasks.into_par_iter().for_each(|(cols_range, out)| {
-        let mut views: Vec<ColView<'_, T>> = Vec::with_capacity(mats.len());
+        let mut views: Vec<ColView<'_, T>> = Vec::with_capacity(k);
         let mut mem = NullModel;
-        let tid = rayon::current_thread_index().unwrap_or(0) % nthreads;
-        let mut guard = ws_pool[tid].lock().expect("workspace mutex poisoned");
-        let ws = guard.get_or_insert_with(|| SymWorkspace::new(strategy, m, mats.len()));
+        let mut ws = pool.for_current_thread();
         for (slot, j) in cols_range.into_iter().enumerate() {
             views.clear();
             views.extend(mats.iter().map(|a| a.col(j)));
-            out[slot] = match ws {
-                SymWorkspace::Hash(ht) => {
+            out[slot] = match strategy {
+                SymbolicStrategy::Hash => {
+                    let ht = ws.sym_hash();
                     let inz: usize = views.iter().map(|c| c.nnz()).sum();
                     ht.reserve_for(inz);
                     hash_symbolic_column(&views, ht, &mut mem)
                 }
-                SymWorkspace::Sliding { ht, scratch } => sliding_symbolic_column(
-                    &views,
-                    m,
-                    ctx.budget_sym,
-                    ht,
-                    ctx.inputs_sorted,
-                    scratch,
-                    &mut mem,
-                ),
-                SymWorkspace::Spa(spa) => spa_symbolic_column(&views, spa, &mut mem),
-                SymWorkspace::Heap(heap) => heap_symbolic_column(&views, heap, &mut mem),
+                SymbolicStrategy::SlidingHash => {
+                    let (ht, scratch) = ws.sym_hash_and_scratch();
+                    sliding_symbolic_column(
+                        &views,
+                        m,
+                        ctx.budget_sym,
+                        ht,
+                        ctx.inputs_sorted,
+                        scratch,
+                        &mut mem,
+                    )
+                }
+                SymbolicStrategy::Spa => spa_symbolic_column(&views, ws.spa(m), &mut mem),
+                SymbolicStrategy::Heap => heap_symbolic_column(&views, ws.heap(k), &mut mem),
+                SymbolicStrategy::UpperBound => unreachable!("handled above"),
             };
         }
     });
     counts
-}
-
-/// Thread-private symbolic-phase state.
-enum SymWorkspace<T> {
-    Hash(SymbolicHashTable),
-    Sliding {
-        ht: SymbolicHashTable,
-        scratch: SlidingScratch<T>,
-    },
-    Spa(Spa<T>),
-    Heap(KwayHeap<T>),
-}
-
-impl<T: Scalar> SymWorkspace<T> {
-    fn new(strategy: SymbolicStrategy, m: usize, k: usize) -> Self {
-        match strategy {
-            SymbolicStrategy::Hash => SymWorkspace::Hash(SymbolicHashTable::with_capacity(16)),
-            SymbolicStrategy::SlidingHash => SymWorkspace::Sliding {
-                ht: SymbolicHashTable::with_capacity(16),
-                scratch: SlidingScratch::new(),
-            },
-            SymbolicStrategy::Spa => SymWorkspace::Spa(Spa::new(m)),
-            SymbolicStrategy::Heap => SymWorkspace::Heap(KwayHeap::new(k)),
-            SymbolicStrategy::UpperBound => unreachable!("upper bound needs no workspace"),
-        }
-    }
 }
 
 #[cfg(test)]
@@ -173,11 +147,16 @@ mod tests {
         vec![a, b]
     }
 
+    fn pool() -> WorkspacePool<f64> {
+        WorkspacePool::new(rayon::current_num_threads())
+    }
+
     #[test]
     fn strategies_agree_on_exact_counts() {
         let ms = mats();
         let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
         let c = ctx();
+        let ws = pool();
         let expect = vec![4usize, 2];
         for strategy in [
             SymbolicStrategy::Hash,
@@ -186,7 +165,7 @@ mod tests {
             SymbolicStrategy::Heap,
         ] {
             assert_eq!(
-                symbolic_counts(&refs, strategy, &c),
+                symbolic_counts(&refs, strategy, &c, &ws),
                 expect,
                 "{strategy:?} disagrees"
             );
@@ -198,7 +177,7 @@ mod tests {
         let ms = mats();
         let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
         assert_eq!(
-            symbolic_counts(&refs, SymbolicStrategy::UpperBound, &ctx()),
+            symbolic_counts(&refs, SymbolicStrategy::UpperBound, &ctx(), &pool()),
             vec![5, 4]
         );
     }
@@ -210,7 +189,7 @@ mod tests {
         let mut c = ctx();
         c.budget_sym = 16; // floor of budget_entries
         assert_eq!(
-            symbolic_counts(&refs, SymbolicStrategy::SlidingHash, &c),
+            symbolic_counts(&refs, SymbolicStrategy::SlidingHash, &c, &pool()),
             vec![4, 2]
         );
     }

@@ -2,7 +2,7 @@
 //!
 //! Reproduces the paper's input protocols (§IV-A):
 //!
-//! * [`rmat`] — the recursive R-MAT generator for rectangular matrices,
+//! * [`mod@rmat`] — the recursive R-MAT generator for rectangular matrices,
 //!   with the paper's two parameter sets: [`RmatParams::ER`]
 //!   (a=b=c=d=0.25, Erdős–Rényi-like uniform) and [`RmatParams::G500`]
 //!   (a=0.57, b=c=0.19, d=0.05, the Graph500 power-law pattern);

@@ -1,6 +1,6 @@
 //! R-MAT and uniform (ER) matrix generation.
 //!
-//! R-MAT (Chakrabarti, Zhan, Faloutsos — the paper's [14]) recursively
+//! R-MAT (Chakrabarti, Zhan, Faloutsos — the paper's \[14\]) recursively
 //! bisects the adjacency matrix: at each level a quadrant is chosen with
 //! probabilities (a, b, c, d) and one more bit of the row and column
 //! indices is fixed. Skewed parameter sets concentrate nonzeros in a few

@@ -11,7 +11,10 @@
 //! defaults to the machine-model budget: a shard flushes its pending
 //! slabs into the running partial once their entries outgrow the
 //! shard's share of the last-level cache (the same `M / (b·T)` budget
-//! the sliding-hash algorithm uses for its tables).
+//! the sliding-hash algorithm uses for its tables). Every accumulator
+//! routes its flushes through a retained `SpkAddPlan`, so a shard
+//! flushing thousands of batches at its fixed slab shape reuses its
+//! hash tables instead of reallocating them per flush.
 
 use crate::plan::ShardPlan;
 use crate::ServerError;
@@ -575,6 +578,28 @@ mod tests {
         let mut expect = m.clone();
         expect.scale(2.0);
         assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn invalid_shard_options_surface_as_typed_errors() {
+        // A nonsense per-shard config (zero-entry sliding tables) must
+        // come back as `SpkaddError::InvalidOptions` from the poisoned
+        // key's finalize — not a worker panic.
+        let mut opts = Options::default().with_threads(1);
+        opts.forced_table_entries = Some(0);
+        let config = ServiceConfig {
+            shards: 2,
+            queue_depth: 4,
+            algorithm: Algorithm::Hash,
+            opts,
+            flush: Some(FlushPolicy::Nnz(1)),
+        };
+        let svc = AggregatorService::new(8, 8, config);
+        svc.submit("job", &shifted_diag(8, 0)).unwrap();
+        assert!(matches!(
+            svc.finalize("job"),
+            Err(ServerError::Spkadd(SpkaddError::InvalidOptions(_)))
+        ));
     }
 
     #[test]

@@ -203,7 +203,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`fn@vec`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

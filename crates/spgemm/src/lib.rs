@@ -1,7 +1,7 @@
 //! # spk-spgemm — local sparse matrix–matrix multiplication
 //!
 //! Column-parallel hash SpGEMM (`C = A·B` over CSC matrices) in the style
-//! of Nagasaka et al. (the paper's [3]): a symbolic phase sizes every
+//! of Nagasaka et al. (the paper's \[3\]): a symbolic phase sizes every
 //! output column with a key-only hash table, then a numeric phase
 //! accumulates `A(:,l)·B(l,j)` contributions into a `(row, value)` hash
 //! table — the same [`spkadd::hashtab`] accumulators the SpKAdd paper

@@ -4,9 +4,10 @@
 //! and then use SpKAdd for each batch".
 //!
 //! A stream of 256 graph-update matrices is folded in batches of 16: each
-//! batch is reduced with hash SpKAdd, and the running total is merged in
-//! with one more 2-way add. The result is verified against a one-shot
-//! SpKAdd over the whole stream.
+//! batch is reduced through **one retained `SpkAddPlan`** (the hash
+//! tables built for batch 1 serve all 16 batches), and the running total
+//! is merged in with one more 2-way add. The result is verified against
+//! a one-shot SpKAdd over the whole stream.
 //!
 //! ```text
 //! cargo run --release --example streaming_batches
@@ -15,7 +16,7 @@
 use spkadd_suite::gen::{generate_collection, Pattern};
 use spkadd_suite::kadd::add_pair;
 use spkadd_suite::sparse::CscMatrix;
-use spkadd_suite::{spkadd_with, Algorithm, Options};
+use spkadd_suite::{spkadd_with, Algorithm, Options, SpkAdd};
 
 fn main() {
     let (m, n, d) = (1 << 15, 64, 8);
@@ -27,11 +28,15 @@ fn main() {
     );
 
     let opts = Options::default();
+    let mut plan = SpkAdd::new(m, n)
+        .algorithm(Algorithm::Hash)
+        .build()
+        .expect("plan");
     let mut running: Option<CscMatrix<f64>> = None;
     let t = std::time::Instant::now();
     for (i, batch) in stream.chunks(16).enumerate() {
         let refs: Vec<&CscMatrix<f64>> = batch.iter().collect();
-        let batch_sum = spkadd_with(&refs, Algorithm::Hash, &opts).expect("batch spkadd");
+        let batch_sum = plan.execute(&refs).expect("batch spkadd");
         running = Some(match running.take() {
             None => batch_sum,
             Some(acc) => add_pair(&acc, &batch_sum, 0, Default::default()),
@@ -46,6 +51,11 @@ fn main() {
     }
     let streamed = running.unwrap();
     let t_stream = t.elapsed().as_secs_f64();
+    println!(
+        "  {} batch reductions through one plan, {} workspace builds total",
+        plan.executions(),
+        plan.workspace_allocations()
+    );
 
     // Oracle: one-shot SpKAdd over the entire stream.
     let refs: Vec<&CscMatrix<f64>> = stream.iter().collect();

@@ -15,9 +15,9 @@
 //! ```
 
 use spkadd_suite::gen::{generate_collection, Pattern};
-use spkadd_suite::kadd::{spkadd_with, Algorithm, Options};
+use spkadd_suite::kadd::{Algorithm, SpkAdd};
 use spkadd_suite::server::{AggregatorService, ServerError, ServiceConfig};
-use spkadd_suite::sparse::{io, CollectionStats, CscMatrix, DegreeStats};
+use spkadd_suite::sparse::{common_shape, io, CollectionStats, CscMatrix, DegreeStats};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -60,7 +60,9 @@ USAGE:
                   [--algorithm NAME] [--seed S]
 
 Algorithms: hash (default), sliding-hash, spa, sliding-spa, heap,
-            2way-tree, 2way-incremental, auto";
+            2way-tree, 2way-incremental, lib-tree, lib-incremental, auto
+            ('auto' picks per collection — per flushed batch under
+            serve-demo — with the paper's Fig 2 decision surface)";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.windows(2)
@@ -88,20 +90,6 @@ fn positional(args: &[String]) -> Vec<&String> {
     out
 }
 
-fn parse_algorithm(name: &str) -> Result<Option<Algorithm>, String> {
-    Ok(Some(match name {
-        "hash" => Algorithm::Hash,
-        "sliding-hash" => Algorithm::SlidingHash,
-        "spa" => Algorithm::Spa,
-        "sliding-spa" => Algorithm::SlidingSpa,
-        "heap" => Algorithm::Heap,
-        "2way-tree" => Algorithm::TwoWayTree,
-        "2way-incremental" => Algorithm::TwoWayIncremental,
-        "auto" => return Ok(None),
-        other => return Err(format!("unknown algorithm '{other}'")),
-    }))
-}
-
 fn load_all(paths: &[&String]) -> Result<Vec<CscMatrix<f64>>, String> {
     if paths.is_empty() {
         return Err("no input files given".into());
@@ -117,20 +105,23 @@ fn load_all(paths: &[&String]) -> Result<Vec<CscMatrix<f64>>, String> {
 }
 
 fn cmd_add(args: &[String]) -> Result<(), String> {
-    let alg = parse_algorithm(flag_value(args, "--algorithm").unwrap_or("hash"))?;
+    let alg: Algorithm = flag_value(args, "--algorithm")
+        .unwrap_or("hash")
+        .parse()
+        .map_err(|e: spkadd_suite::kadd::SpkaddError| e.to_string())?;
     let out = flag_value(args, "--out");
     let unsorted = args.iter().any(|a| a == "--unsorted");
     let mats = load_all(&positional(args))?;
     let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+    let (nrows, ncols) = common_shape(&refs).map_err(|e| e.to_string())?;
 
-    let mut opts = Options::default();
-    opts.sorted_output = !unsorted;
+    let mut plan = SpkAdd::new(nrows, ncols)
+        .algorithm(alg)
+        .sorted_output(!unsorted)
+        .build()
+        .map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
-    let sum = match alg {
-        Some(a) => spkadd_with(&refs, a, &opts),
-        None => spkadd_suite::spkadd_auto(&refs, &opts),
-    }
-    .map_err(|e| e.to_string())?;
+    let sum = plan.execute(&refs).map_err(|e| e.to_string())?;
     let secs = t0.elapsed().as_secs_f64();
 
     let total: usize = mats.iter().map(|m| m.nnz()).sum();
@@ -208,10 +199,12 @@ fn cmd_serve_demo(args: &[String]) -> Result<(), String> {
         "rmat" => Pattern::Rmat,
         other => return Err(format!("unknown pattern '{other}'")),
     };
-    // The service runs one fixed algorithm per shard; `auto` picks per
-    // collection shape, which doesn't exist yet when the service starts.
-    let algorithm = parse_algorithm(flag_value(args, "--algorithm").unwrap_or("hash"))?
-        .ok_or("serve-demo needs a concrete algorithm ('auto' is only for 'add')")?;
+    // Any algorithm works here, `auto` included: the shards' retained
+    // plans resolve it per flushed batch.
+    let algorithm: Algorithm = flag_value(args, "--algorithm")
+        .unwrap_or("hash")
+        .parse()
+        .map_err(|e: spkadd_suite::kadd::SpkaddError| e.to_string())?;
 
     eprintln!(
         "generating a stream of {matrices} {rows}x{cols} matrices (~{d} nnz/col, {:?})...",

@@ -23,10 +23,12 @@ pub use spk_spgemm as spgemm;
 pub use spk_summa as summa;
 pub use spkadd as kadd;
 
-/// The most common entry point, re-exported at the top level: add a
-/// collection of CSC matrices with an explicitly chosen algorithm.
-pub use spkadd::{spkadd_with, Algorithm, Options};
+/// The front door, re-exported at the top level: build a reusable
+/// execution plan once ([`SpkAdd`] → [`SpkAddPlan`]), execute it over as
+/// many collections as you like — workspaces are retained across calls.
+pub use spkadd::{SpkAdd, SpkAddPlan};
 
-/// One-call "do the right thing" API: picks the algorithm with the paper's
-/// Fig 2 heuristics and runs it.
-pub use spkadd::spkadd_auto;
+/// One-shot compatibility shims over a throwaway plan: add a collection
+/// with an explicitly chosen algorithm ([`Algorithm::Auto`] picks with
+/// the paper's Fig 2 heuristics).
+pub use spkadd::{spkadd_auto, spkadd_with, Algorithm, Options};

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use spkadd_suite::sparse::{CooMatrix, CscMatrix, DenseMatrix};
-use spkadd_suite::{spkadd_with, Algorithm, Options};
+use spkadd_suite::{spkadd_with, Algorithm, Options, SpkAdd};
 
 /// Strategy: a small collection of same-shape matrices from random
 /// triplets (duplicates merged, so inputs are canonical).
@@ -44,6 +44,24 @@ proptest! {
                 0.0,
                 "{} deviates", alg
             );
+        }
+    }
+
+    /// The plan/execute front door agrees bit-for-bit with the one-shot
+    /// shim for every algorithm (including Auto), and a second execution
+    /// of the same plan is identical to the first.
+    #[test]
+    fn planned_execution_matches_oneshot(mats in collection_strategy()) {
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let (m, n) = (mats[0].nrows(), mats[0].ncols());
+        let opts = Options::default();
+        for alg in Algorithm::ALL.into_iter().chain([Algorithm::Auto]) {
+            let mut plan = SpkAdd::new(m, n).algorithm(alg).build().unwrap();
+            let planned = plan.execute(&refs).unwrap();
+            let oneshot = spkadd_with(&refs, alg, &opts).unwrap();
+            prop_assert_eq!(&planned, &oneshot, "{} plan != one-shot", alg);
+            let again = plan.execute(&refs).unwrap();
+            prop_assert_eq!(&again, &planned, "{} replay differs", alg);
         }
     }
 
