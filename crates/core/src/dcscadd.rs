@@ -10,14 +10,26 @@
 
 use crate::hashtab::HashAccumulator;
 use crate::mem::NullModel;
+use crate::monoid::{Monoid, Plus};
 use crate::{Options, SpkaddError};
-use spk_sparse::{ColView, DcscMatrix, Scalar, SparseError};
+use spk_sparse::{ColView, DcscMatrix, Element, Scalar, SparseError};
 
 /// Adds a collection of DCSC matrices with the hash kernel, visiting only
 /// occupied columns. Output columns are sorted when
 /// `opts.sorted_output` is set.
 pub fn spkadd_dcsc<T: Scalar>(
     mats: &[&DcscMatrix<T>],
+    opts: &Options,
+) -> Result<DcscMatrix<T>, SpkaddError> {
+    spkadd_dcsc_with(mats, Plus::new(), opts)
+}
+
+/// Monoid-generic DCSC SpKAdd — see [`spkadd_dcsc`], which is this with
+/// [`Plus`]. A filtering monoid can empty a column entirely, in which
+/// case it simply drops out of the (doubly-compressed) output.
+pub fn spkadd_dcsc_with<T: Element, O: Monoid<Value = T>>(
+    mats: &[&DcscMatrix<T>],
+    monoid: O,
     opts: &Options,
 ) -> Result<DcscMatrix<T>, SpkaddError> {
     let first = mats
@@ -80,15 +92,22 @@ pub fn spkadd_dcsc<T: Scalar>(
         ht.reserve_for(inz);
         col_rows.resize(inz, 0);
         col_vals.resize(inz, T::default());
-        let written = crate::kernels::hash_add_column(
+        let written = crate::kernels::hash_add_column_with(
             &views,
             &mut ht,
             &mut col_rows,
             &mut col_vals,
             opts.sorted_output,
+            monoid,
             &mut mem,
         );
-        debug_assert!(written > 0, "union column {j} cannot be empty");
+        debug_assert!(
+            O::MAY_FILTER || written > 0,
+            "union column {j} cannot be empty"
+        );
+        if written == 0 {
+            continue;
+        }
         jc.push(j);
         rowidx.extend_from_slice(&col_rows[..written]);
         values.extend_from_slice(&col_vals[..written]);

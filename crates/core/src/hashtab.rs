@@ -17,7 +17,8 @@
 //! columns without an O(capacity) wipe per column.
 
 use crate::mem::MemModel;
-use spk_sparse::Scalar;
+use crate::monoid::{Monoid, Plus};
+use spk_sparse::{Element, Scalar};
 
 /// The paper's prime multiplier `a`. 2654435761 = ⌊2³²/φ⌋ (Knuth's
 /// multiplicative constant), which is prime and spreads consecutive row
@@ -54,7 +55,7 @@ pub struct HashAccumulator<T> {
     sort_scratch: Vec<(u32, T)>,
 }
 
-impl<T: Scalar> HashAccumulator<T> {
+impl<T: Element> HashAccumulator<T> {
     /// A table able to hold at least `entries` rows.
     pub fn with_capacity(entries: usize) -> Self {
         let cap = table_size_for(entries);
@@ -99,15 +100,23 @@ impl<T: Scalar> HashAccumulator<T> {
         }
     }
 
-    /// Inserts `v` at row `r`, accumulating if the row is present
-    /// (Alg 5 lines 5–12).
+    /// Inserts `v` at row `r`, folding with `monoid` if the row is
+    /// present (Alg 5 lines 5–12, generalized from `+=` to any
+    /// commutative monoid — `insert_combine(…, Plus, …)` compiles to the
+    /// exact loop the hard-coded addition produced).
     ///
     /// The table grows (doubling + rehash) when the load factor would
     /// exceed 7/8, so callers may size it by an *estimate* — the sliding
     /// algorithm reserves the cache budget and lets skewed panels grow
     /// past it only when they genuinely hold more distinct rows.
     #[inline]
-    pub fn insert_add<M: MemModel>(&mut self, r: u32, v: T, mem: &mut M) {
+    pub fn insert_combine<O: Monoid<Value = T>, M: MemModel>(
+        &mut self,
+        r: u32,
+        v: T,
+        monoid: O,
+        mem: &mut M,
+    ) {
         if (self.occupied.len() + 1) * 8 > self.capacity() * 7 {
             self.grow_rehash(mem);
         }
@@ -131,7 +140,7 @@ impl<T: Scalar> HashAccumulator<T> {
                     self.vals.as_ptr() as usize + h * std::mem::size_of::<T>(),
                     std::mem::size_of::<T>(),
                 );
-                self.vals[h] += v;
+                monoid.combine(&mut self.vals[h], v);
                 mem.write(
                     self.vals.as_ptr() as usize + h * std::mem::size_of::<T>(),
                     std::mem::size_of::<T>(),
@@ -146,15 +155,19 @@ impl<T: Scalar> HashAccumulator<T> {
     /// Emits all stored `(row, value)` pairs into the output slices,
     /// optionally sorted by row (Alg 5 lines 13–15), resets the table for
     /// the next column, and returns the number of entries written.
-    pub fn drain_into<M: MemModel>(
+    ///
+    /// Entries failing [`Monoid::keep`] are dropped at this flush point;
+    /// for monoids with `MAY_FILTER == false` the check is compiled out.
+    pub fn drain_into_with<O: Monoid<Value = T>, M: MemModel>(
         &mut self,
         out_rows: &mut [u32],
         out_vals: &mut [T],
         sorted: bool,
+        monoid: O,
         mem: &mut M,
     ) -> usize {
         let n = self.occupied.len();
-        debug_assert!(out_rows.len() >= n && out_vals.len() >= n);
+        let mut written = 0usize;
         if sorted {
             self.sort_scratch.clear();
             for &slot in &self.occupied {
@@ -164,31 +177,41 @@ impl<T: Scalar> HashAccumulator<T> {
             }
             self.sort_scratch.sort_unstable_by_key(|&(r, _)| r);
             mem.op(n as u64); // emission pass; sorting cost grows n lg n
-            for (i, &(r, v)) in self.sort_scratch.iter().enumerate() {
-                out_rows[i] = r;
-                out_vals[i] = v;
-                mem.write(out_rows.as_ptr() as usize + i * 4, 4);
+            for &(r, v) in self.sort_scratch.iter() {
+                if O::MAY_FILTER && !monoid.keep(&v) {
+                    continue;
+                }
+                out_rows[written] = r;
+                out_vals[written] = v;
+                mem.write(out_rows.as_ptr() as usize + written * 4, 4);
                 mem.write(
-                    out_vals.as_ptr() as usize + i * std::mem::size_of::<T>(),
+                    out_vals.as_ptr() as usize + written * std::mem::size_of::<T>(),
                     std::mem::size_of::<T>(),
                 );
+                written += 1;
             }
         } else {
-            for (i, &slot) in self.occupied.iter().enumerate() {
+            for &slot in self.occupied.iter() {
                 let s = slot as usize;
-                out_rows[i] = self.keys[s];
-                out_vals[i] = self.vals[s];
+                let (r, v) = (self.keys[s], self.vals[s]);
                 self.keys[s] = EMPTY_KEY;
-                mem.write(out_rows.as_ptr() as usize + i * 4, 4);
+                if O::MAY_FILTER && !monoid.keep(&v) {
+                    continue;
+                }
+                out_rows[written] = r;
+                out_vals[written] = v;
+                mem.write(out_rows.as_ptr() as usize + written * 4, 4);
                 mem.write(
-                    out_vals.as_ptr() as usize + i * std::mem::size_of::<T>(),
+                    out_vals.as_ptr() as usize + written * std::mem::size_of::<T>(),
                     std::mem::size_of::<T>(),
                 );
+                written += 1;
             }
             mem.op(n as u64);
         }
+        debug_assert!(out_rows.len() >= written && out_vals.len() >= written);
         self.occupied.clear();
-        n
+        written
     }
 
     /// Clears without emitting (error-recovery path).
@@ -227,6 +250,27 @@ impl<T: Scalar> HashAccumulator<T> {
         self.vals = vals;
         self.mask = mask;
         self.occupied = occupied;
+    }
+}
+
+impl<T: Scalar> HashAccumulator<T> {
+    /// Inserts `v` at row `r`, accumulating if the row is present —
+    /// [`HashAccumulator::insert_combine`] with the [`Plus`] monoid.
+    #[inline]
+    pub fn insert_add<M: MemModel>(&mut self, r: u32, v: T, mem: &mut M) {
+        self.insert_combine(r, v, Plus::new(), mem);
+    }
+
+    /// Emits all stored `(row, value)` pairs —
+    /// [`HashAccumulator::drain_into_with`] with the [`Plus`] monoid.
+    pub fn drain_into<M: MemModel>(
+        &mut self,
+        out_rows: &mut [u32],
+        out_vals: &mut [T],
+        sorted: bool,
+        mem: &mut M,
+    ) -> usize {
+        self.drain_into_with(out_rows, out_vals, sorted, Plus::new(), mem)
     }
 }
 

@@ -10,7 +10,8 @@
 //! Requires all input columns sorted by row index.
 
 use crate::mem::MemModel;
-use spk_sparse::{ColView, Scalar};
+use crate::monoid::{Monoid, Plus};
+use spk_sparse::{ColView, Element, Scalar};
 
 /// One heap node: the frontier entry of input matrix `mat`.
 #[derive(Debug, Clone, Copy)]
@@ -28,7 +29,7 @@ pub struct KwayHeap<T> {
     cursors: Vec<usize>,
 }
 
-impl<T: Scalar> KwayHeap<T> {
+impl<T: Element> KwayHeap<T> {
     /// A heap for merging up to `k` columns.
     pub fn new(k: usize) -> Self {
         Self {
@@ -37,17 +38,18 @@ impl<T: Scalar> KwayHeap<T> {
         }
     }
 
-    /// Merges the `j`-th columns of all inputs into `(out_rows, out_vals)`,
-    /// summing duplicate rows, and returns the number of output entries.
-    /// Output is produced in ascending row order (the heap algorithm can
-    /// only emit sorted output).
-    ///
-    /// The caller guarantees each `ColView` is sorted by row index.
-    pub fn add_column<M: MemModel>(
+    /// Monoid-generic k-way merge — see [`KwayHeap::add_column`], which is
+    /// this with [`Plus`]. Duplicate rows are folded with
+    /// `monoid.combine`; when a run of duplicates closes (the heap yields
+    /// a larger row, or the merge ends) the reduced value is dropped again
+    /// if `monoid.keep` rejects it. The rollback is safe because the heap
+    /// emits rows in ascending order, so a closed run never reopens.
+    pub fn add_column_with<O: Monoid<Value = T>, M: MemModel>(
         &mut self,
         cols: &[ColView<'_, T>],
         out_rows: &mut [u32],
         out_vals: &mut [T],
+        monoid: O,
         mem: &mut M,
     ) -> usize {
         let k = cols.len();
@@ -95,12 +97,16 @@ impl<T: Scalar> KwayHeap<T> {
             }
             // Alg 3 lines 8–11: extend or accumulate into the output.
             if written > 0 && out_rows[written - 1] == min.row {
-                out_vals[written - 1] += min.val;
+                monoid.combine(&mut out_vals[written - 1], min.val);
                 mem.write(
                     out_vals.as_ptr() as usize + (written - 1) * std::mem::size_of::<T>(),
                     std::mem::size_of::<T>(),
                 );
             } else {
+                // The previous row's run just closed; filter it now.
+                if O::MAY_FILTER && written > 0 && !monoid.keep(&out_vals[written - 1]) {
+                    written -= 1;
+                }
                 debug_assert!(
                     written == 0 || out_rows[written - 1] < min.row,
                     "heap merge received unsorted input"
@@ -114,6 +120,10 @@ impl<T: Scalar> KwayHeap<T> {
                 );
                 written += 1;
             }
+        }
+        // The final run closes when the heap drains.
+        if O::MAY_FILTER && written > 0 && !monoid.keep(&out_vals[written - 1]) {
+            written -= 1;
         }
         written
     }
@@ -214,6 +224,24 @@ impl<T: Scalar> KwayHeap<T> {
             self.heap.swap(i, smallest);
             i = smallest;
         }
+    }
+}
+
+impl<T: Scalar> KwayHeap<T> {
+    /// Merges the `j`-th columns of all inputs into `(out_rows, out_vals)`,
+    /// summing duplicate rows, and returns the number of output entries.
+    /// Output is produced in ascending row order (the heap algorithm can
+    /// only emit sorted output).
+    ///
+    /// The caller guarantees each `ColView` is sorted by row index.
+    pub fn add_column<M: MemModel>(
+        &mut self,
+        cols: &[ColView<'_, T>],
+        out_rows: &mut [u32],
+        out_vals: &mut [T],
+        mem: &mut M,
+    ) -> usize {
+        self.add_column_with(cols, out_rows, out_vals, Plus::new(), mem)
     }
 }
 

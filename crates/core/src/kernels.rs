@@ -9,14 +9,15 @@
 use crate::hashtab::{HashAccumulator, SymbolicHashTable};
 use crate::heap::KwayHeap;
 use crate::mem::MemModel;
+use crate::monoid::{Monoid, Plus};
 use crate::spa::Spa;
-use spk_sparse::{ColView, Scalar};
+use spk_sparse::{ColView, Element, Scalar};
 
 /// Streams one input column into the model (the load half of the paper's
 /// I/O accounting: every nonzero is read from memory exactly once in the
 /// k-way algorithms).
 #[inline(always)]
-fn stream_column<T: Scalar, M: MemModel>(col: &ColView<'_, T>, mem: &mut M) {
+fn stream_column<T: Element, M: MemModel>(col: &ColView<'_, T>, mem: &mut M) {
     // One read event per array; byte counts capture the streamed volume.
     if !col.rows.is_empty() {
         mem.read(col.rows.as_ptr() as usize, col.rows.len() * 4);
@@ -34,18 +35,33 @@ pub fn hash_add_column<T: Scalar, M: MemModel>(
     sorted: bool,
     mem: &mut M,
 ) -> usize {
+    hash_add_column_with(cols, ht, out_rows, out_vals, sorted, Plus::new(), mem)
+}
+
+/// Monoid-generic HashAdd — [`hash_add_column`] with an arbitrary
+/// [`Monoid`] folding duplicate rows.
+pub fn hash_add_column_with<T: Element, O: Monoid<Value = T>, M: MemModel>(
+    cols: &[ColView<'_, T>],
+    ht: &mut HashAccumulator<T>,
+    out_rows: &mut [u32],
+    out_vals: &mut [T],
+    sorted: bool,
+    monoid: O,
+    mem: &mut M,
+) -> usize {
     for col in cols {
         stream_column(col, mem);
         for (r, v) in col.iter() {
-            ht.insert_add(r, v, mem);
+            ht.insert_combine(r, v, monoid, mem);
         }
     }
-    ht.drain_into(out_rows, out_vals, sorted, mem)
+    ht.drain_into_with(out_rows, out_vals, sorted, monoid, mem)
 }
 
 /// HashSymbolic (Algorithm 6): counts the distinct rows across the input
-/// columns — `nnz(B(:,j))`.
-pub fn hash_symbolic_column<T: Scalar, M: MemModel>(
+/// columns — `nnz(B(:,j))`. Values are never touched: output *structure*
+/// is the set union of input structures, independent of the monoid.
+pub fn hash_symbolic_column<T: Element, M: MemModel>(
     cols: &[ColView<'_, T>],
     ht: &mut SymbolicHashTable,
     mem: &mut M,
@@ -73,26 +89,42 @@ pub fn spa_add_column<T: Scalar, M: MemModel>(
     sorted: bool,
     mem: &mut M,
 ) -> usize {
+    spa_add_column_with(cols, spa, out_rows, out_vals, sorted, Plus::new(), mem)
+}
+
+/// Monoid-generic SPAAdd — [`spa_add_column`] with an arbitrary
+/// [`Monoid`] folding duplicate rows.
+pub fn spa_add_column_with<T: Element, O: Monoid<Value = T>, M: MemModel>(
+    cols: &[ColView<'_, T>],
+    spa: &mut Spa<T>,
+    out_rows: &mut [u32],
+    out_vals: &mut [T],
+    sorted: bool,
+    monoid: O,
+    mem: &mut M,
+) -> usize {
     for col in cols {
         stream_column(col, mem);
         for (r, v) in col.iter() {
-            spa.scatter(r, v, mem);
+            spa.scatter_combine(r, v, monoid, mem);
         }
     }
-    spa.drain_into(out_rows, out_vals, sorted, mem)
+    spa.drain_into_with(out_rows, out_vals, sorted, monoid, mem)
 }
 
 /// Symbolic phase via SPA (§II-D notes heap and SPA also work): counts
-/// distinct rows.
-pub fn spa_symbolic_column<T: Scalar, M: MemModel>(
+/// distinct rows. Value-free ([`Spa::scatter_mark`]) because output
+/// structure is monoid-independent; the memory traffic matches the
+/// numeric scatter exactly, preserving the Table I accounting.
+pub fn spa_symbolic_column<T: Element, M: MemModel>(
     cols: &[ColView<'_, T>],
     spa: &mut Spa<T>,
     mem: &mut M,
 ) -> usize {
     for col in cols {
         stream_column(col, mem);
-        for (r, v) in col.iter() {
-            spa.scatter(r, v, mem);
+        for &r in col.rows {
+            spa.scatter_mark(r, mem);
         }
     }
     spa.drain_count()
@@ -110,8 +142,21 @@ pub fn heap_add_column<T: Scalar, M: MemModel>(
     heap.add_column(cols, out_rows, out_vals, mem)
 }
 
+/// Monoid-generic HeapAdd — [`heap_add_column`] with an arbitrary
+/// [`Monoid`] folding duplicate rows.
+pub fn heap_add_column_with<T: Element, O: Monoid<Value = T>, M: MemModel>(
+    cols: &[ColView<'_, T>],
+    heap: &mut KwayHeap<T>,
+    out_rows: &mut [u32],
+    out_vals: &mut [T],
+    monoid: O,
+    mem: &mut M,
+) -> usize {
+    heap.add_column_with(cols, out_rows, out_vals, monoid, mem)
+}
+
 /// Symbolic phase via heap: counts distinct rows of sorted columns.
-pub fn heap_symbolic_column<T: Scalar, M: MemModel>(
+pub fn heap_symbolic_column<T: Element, M: MemModel>(
     cols: &[ColView<'_, T>],
     heap: &mut KwayHeap<T>,
     mem: &mut M,

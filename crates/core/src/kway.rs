@@ -9,15 +9,16 @@
 //! [`WorkspacePool`]** — a plan executed repeatedly reuses its tables,
 //! SPA panels, and heap buffers instead of reallocating them per call.
 
-use crate::kernels::{hash_add_column, heap_add_column, spa_add_column};
+use crate::kernels::{hash_add_column_with, heap_add_column_with, spa_add_column_with};
 use crate::mem::NullModel;
+use crate::monoid::Monoid;
 use crate::parallel::{exclusive_prefix_sum, exclusive_prefix_sum_into, plan_ranges, split_output};
-use crate::sliding::sliding_add_column;
-use crate::spa::sliding_spa_add_column;
+use crate::sliding::sliding_add_column_with;
+use crate::spa::sliding_spa_add_column_with;
 use crate::symbolic::DriverCtx;
 use crate::workspace::WorkspacePool;
 use rayon::prelude::*;
-use spk_sparse::{ColView, CscMatrix, Scalar};
+use spk_sparse::{ColView, CscMatrix, Element};
 
 /// Which column kernel the numeric phase runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +40,7 @@ pub(crate) struct RecycledBufs<T> {
     pub vals: Vec<T>,
 }
 
-impl<T: Scalar> RecycledBufs<T> {
+impl<T: Element> RecycledBufs<T> {
     /// Reclaims the buffers of an existing matrix (its contents are
     /// discarded, its allocations kept).
     pub fn from_matrix(m: CscMatrix<T>) -> Self {
@@ -50,16 +51,21 @@ impl<T: Scalar> RecycledBufs<T> {
 
 /// Runs the numeric phase. `counts[j]` must be an exact size or an upper
 /// bound for `nnz(B(:,j))`; when it is only an upper bound
-/// (`exact = false`) the result is compacted afterwards.
-pub(crate) fn kway_numeric<T: Scalar>(
+/// (`exact = false`) the result is compacted afterwards. A filtering
+/// monoid demotes every count to an upper bound — the symbolic phase is
+/// value-free and cannot predict what `keep` will drop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn kway_numeric<T: Element, O: Monoid<Value = T>>(
     mats: &[&CscMatrix<T>],
     counts: &[usize],
     exact: bool,
     kernel: NumericKernel,
+    monoid: O,
     ctx: &DriverCtx,
     pool: &WorkspacePool<T>,
     recycle: RecycledBufs<T>,
 ) -> CscMatrix<T> {
+    let exact = exact && !O::MAY_FILTER;
     let n = mats[0].ncols();
     let m = mats[0].nrows();
     let k = mats.len();
@@ -114,11 +120,19 @@ pub(crate) fn kway_numeric<T: Scalar>(
                     NumericKernel::Hash => {
                         let ht = ws.hash();
                         ht.reserve_for(hi - lo);
-                        hash_add_column(&views, ht, out_rows, out_vals, ctx.sorted_output, &mut mem)
+                        hash_add_column_with(
+                            &views,
+                            ht,
+                            out_rows,
+                            out_vals,
+                            ctx.sorted_output,
+                            monoid,
+                            &mut mem,
+                        )
                     }
                     NumericKernel::SlidingHash => {
                         let (ht, scratch) = ws.hash_and_scratch();
-                        sliding_add_column(
+                        sliding_add_column_with(
                             &views,
                             m,
                             ctx.budget_add,
@@ -128,23 +142,25 @@ pub(crate) fn kway_numeric<T: Scalar>(
                             out_vals,
                             ctx.sorted_output,
                             ctx.inputs_sorted,
+                            monoid,
                             scratch,
                             &mut mem,
                         )
                     }
-                    NumericKernel::Spa => spa_add_column(
+                    NumericKernel::Spa => spa_add_column_with(
                         &views,
                         ws.spa(m),
                         out_rows,
                         out_vals,
                         ctx.sorted_output,
+                        monoid,
                         &mut mem,
                     ),
                     NumericKernel::SlidingSpa => {
                         // One cache-resident row panel at a time (the
                         // §IV-B(b) extension).
                         let (spa, scratch) = ws.spa_and_scratch(m.min(ctx.budget_add.max(1)));
-                        sliding_spa_add_column(
+                        sliding_spa_add_column_with(
                             &views,
                             m,
                             ctx.budget_add,
@@ -153,13 +169,19 @@ pub(crate) fn kway_numeric<T: Scalar>(
                             out_vals,
                             ctx.sorted_output,
                             ctx.inputs_sorted,
+                            monoid,
                             scratch,
                             &mut mem,
                         )
                     }
-                    NumericKernel::Heap => {
-                        heap_add_column(&views, ws.heap(k), out_rows, out_vals, &mut mem)
-                    }
+                    NumericKernel::Heap => heap_add_column_with(
+                        &views,
+                        ws.heap(k),
+                        out_rows,
+                        out_vals,
+                        monoid,
+                        &mut mem,
+                    ),
                 };
                 debug_assert!(written <= hi - lo);
                 debug_assert!(!exact || written == hi - lo);
@@ -175,7 +197,7 @@ pub(crate) fn kway_numeric<T: Scalar>(
 }
 
 /// Squeezes out the per-column slack left by an upper-bound allocation.
-fn compact<T: Scalar>(
+fn compact<T: Element>(
     m: usize,
     n: usize,
     alloc_colptr: &[usize],
@@ -200,6 +222,7 @@ fn compact<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::monoid::Plus;
     use crate::parallel::Scheduling;
     use crate::symbolic::{symbolic_counts, SymbolicStrategy};
     use spk_sparse::DenseMatrix;
@@ -266,6 +289,7 @@ mod tests {
                 &counts,
                 true,
                 kernel,
+                Plus::new(),
                 &c,
                 &ws,
                 RecycledBufs::default(),
@@ -293,6 +317,7 @@ mod tests {
             &upper,
             false,
             NumericKernel::Hash,
+            Plus::new(),
             &c,
             &ws,
             RecycledBufs::default(),
@@ -317,6 +342,7 @@ mod tests {
             &counts,
             true,
             NumericKernel::Hash,
+            Plus::new(),
             &c,
             &ws,
             RecycledBufs::default(),
@@ -341,6 +367,7 @@ mod tests {
             &counts,
             true,
             NumericKernel::SlidingHash,
+            Plus::new(),
             &c,
             &ws,
             RecycledBufs::default(),
@@ -364,6 +391,7 @@ mod tests {
             &counts,
             true,
             NumericKernel::Hash,
+            Plus::new(),
             &c,
             &ws,
             RecycledBufs::default(),
@@ -374,6 +402,7 @@ mod tests {
             &counts,
             true,
             NumericKernel::Hash,
+            Plus::new(),
             &c,
             &ws,
             RecycledBufs::default(),
@@ -393,6 +422,7 @@ mod tests {
             &counts,
             true,
             NumericKernel::Hash,
+            Plus::new(),
             &c,
             &ws,
             RecycledBufs::default(),
@@ -403,6 +433,7 @@ mod tests {
             &counts,
             true,
             NumericKernel::Hash,
+            Plus::new(),
             &c,
             &ws,
             RecycledBufs::from_matrix(first),

@@ -74,6 +74,7 @@ mod kway;
 pub mod libstyle;
 pub mod mem;
 pub mod metered;
+pub mod monoid;
 pub mod parallel;
 pub mod plan;
 pub mod rowwise;
@@ -88,6 +89,7 @@ pub mod workspace;
 pub use dcscadd::spkadd_dcsc;
 pub use error::SpkaddError;
 pub use mem::{CountingModel, MemModel, NullModel};
+pub use monoid::{MaxPlus, Min, Monoid, Or, Plus, SaturatingCount, ThresholdedPlus};
 pub use parallel::Scheduling;
 pub use plan::{SpkAdd, SpkAddPlan};
 pub use rowwise::spkadd_csr;
@@ -96,7 +98,7 @@ pub use symbolic::SymbolicStrategy;
 pub use tuning::{choose_algorithm, CacheConfig};
 pub use twoway::add_pair;
 
-use spk_sparse::{common_shape, CscMatrix, Scalar};
+use spk_sparse::{common_shape, CscMatrix, Element, Scalar};
 
 /// The SpKAdd algorithm family (see the crate docs for the complexity
 /// table).
@@ -340,7 +342,7 @@ impl Options {
 /// Hash-table entry size in bytes for value type `T` during the numeric
 /// phase: a 4-byte row index plus the value (8 bytes for `f32`, 12 for
 /// `f64` — the paper's `b`).
-pub fn numeric_entry_bytes<T: Scalar>() -> usize {
+pub fn numeric_entry_bytes<T: Element>() -> usize {
     4 + std::mem::size_of::<T>()
 }
 
@@ -411,6 +413,30 @@ pub fn spkadd_auto<T: Scalar>(
     opts: &Options,
 ) -> Result<CscMatrix<T>, SpkaddError> {
     spkadd_with(mats, Algorithm::Auto, opts)
+}
+
+/// One-shot k-way reduction under an arbitrary [`Monoid`] —
+/// [`spkadd_with`] is this with [`Plus`]. The same symbolic/numeric
+/// machinery runs unchanged: the symbolic phase is monoid-independent
+/// (output structure is the set union of input structures), and a
+/// filtering monoid merely demotes its counts to upper bounds that the
+/// numeric driver compacts away.
+///
+/// Like [`spkadd_with`], this builds a throwaway plan; callers reducing
+/// repeatedly should hold a plan via
+/// [`SpkAdd::build_with_monoid`](plan::SpkAdd::build_with_monoid).
+pub fn spkadd_with_monoid<T: spk_sparse::Element, O: Monoid<Value = T>>(
+    mats: &[&CscMatrix<T>],
+    monoid: O,
+    alg: Algorithm,
+    opts: &Options,
+) -> Result<CscMatrix<T>, SpkaddError> {
+    let (nrows, ncols) = common_shape(mats)?;
+    let mut plan = SpkAdd::new(nrows, ncols)
+        .algorithm(alg)
+        .options(opts.clone())
+        .build_with_monoid(monoid)?;
+    plan.execute(mats)
 }
 
 #[cfg(test)]

@@ -15,12 +15,26 @@
 //! drivers amplify k−1 times, which is why the MKL rows of Tables III/IV
 //! are uniformly the slowest.
 
+use crate::monoid::{Monoid, Plus};
 use rayon::prelude::*;
 use spk_sparse::{CooMatrix, CscMatrix, Scalar};
 
 /// One library-style 2-way addition: triplet conversion, concatenation,
 /// sort, duplicate compaction, fresh allocation.
 pub fn lib_add_pair<T: Scalar>(a: &CscMatrix<T>, b: &CscMatrix<T>) -> CscMatrix<T> {
+    lib_add_pair_with(a, b, Plus::new())
+}
+
+/// Monoid-generic library-style addition — see [`lib_add_pair`], which
+/// is this with [`Plus`]. The combined triplets are counting-sorted
+/// (stable, so `a`'s entries fold before `b`'s — the same order the
+/// streaming merges use) and duplicate runs are reduced with
+/// `monoid.combine`; `monoid.keep` filters each reduced entry.
+pub fn lib_add_pair_with<T: spk_sparse::Element, O: Monoid<Value = T>>(
+    a: &CscMatrix<T>,
+    b: &CscMatrix<T>,
+    monoid: O,
+) -> CscMatrix<T> {
     debug_assert_eq!(a.shape(), b.shape());
     // "Inspector": both operands are re-ingested into library-internal
     // storage on every call.
@@ -32,14 +46,45 @@ pub fn lib_add_pair<T: Scalar>(a: &CscMatrix<T>, b: &CscMatrix<T>) -> CscMatrix<
         combined.push(r, c, v);
     }
     // "Executor": sort + compact into a canonical fresh output.
-    combined.to_csc_sum_duplicates()
+    let sorted = combined.to_csc();
+    let (m, n, colptr, rows, vals) = sorted.into_parts();
+    let mut out_colptr = vec![0usize; n + 1];
+    let mut out_rows = Vec::with_capacity(rows.len());
+    let mut out_vals = Vec::with_capacity(vals.len());
+    for j in 0..n {
+        let mut i = colptr[j];
+        let hi = colptr[j + 1];
+        while i < hi {
+            let r = rows[i];
+            let mut acc = vals[i];
+            i += 1;
+            while i < hi && rows[i] == r {
+                monoid.combine(&mut acc, vals[i]);
+                i += 1;
+            }
+            if !O::MAY_FILTER || monoid.keep(&acc) {
+                out_rows.push(r);
+                out_vals.push(acc);
+            }
+        }
+        out_colptr[j + 1] = out_rows.len();
+    }
+    CscMatrix::from_parts(m, n, out_colptr, out_rows, out_vals)
 }
 
 /// SpKAdd by incremental library calls (the paper's "MKL Incremental").
 pub fn lib_incremental<T: Scalar>(mats: &[&CscMatrix<T>]) -> CscMatrix<T> {
+    lib_incremental_with(mats, Plus::new())
+}
+
+/// Monoid-generic incremental library fold — see [`lib_incremental`].
+pub fn lib_incremental_with<T: spk_sparse::Element, O: Monoid<Value = T>>(
+    mats: &[&CscMatrix<T>],
+    monoid: O,
+) -> CscMatrix<T> {
     let mut acc = mats[0].clone();
     for a in &mats[1..] {
-        acc = lib_add_pair(&acc, a);
+        acc = lib_add_pair_with(&acc, a, monoid);
     }
     acc
 }
@@ -48,10 +93,18 @@ pub fn lib_incremental<T: Scalar>(mats: &[&CscMatrix<T>]) -> CscMatrix<T> {
 /// Pairs within a level run in parallel — mirroring how one would drive a
 /// thread-safe library — but each call keeps its per-call overhead.
 pub fn lib_tree<T: Scalar>(mats: &[&CscMatrix<T>]) -> CscMatrix<T> {
+    lib_tree_with(mats, Plus::new())
+}
+
+/// Monoid-generic tree of library calls — see [`lib_tree`].
+pub fn lib_tree_with<T: spk_sparse::Element, O: Monoid<Value = T>>(
+    mats: &[&CscMatrix<T>],
+    monoid: O,
+) -> CscMatrix<T> {
     let mut level: Vec<CscMatrix<T>> = mats
         .par_chunks(2)
         .map(|pair| match pair {
-            [a, b] => lib_add_pair(a, b),
+            [a, b] => lib_add_pair_with(a, b, monoid),
             [a] => (*a).clone(),
             _ => unreachable!(),
         })
@@ -60,7 +113,7 @@ pub fn lib_tree<T: Scalar>(mats: &[&CscMatrix<T>]) -> CscMatrix<T> {
         level = level
             .par_chunks(2)
             .map(|pair| match pair {
-                [a, b] => lib_add_pair(a, b),
+                [a, b] => lib_add_pair_with(a, b, monoid),
                 [a] => a.clone(),
                 _ => unreachable!(),
             })

@@ -1,0 +1,265 @@
+//! Commutative-monoid reduction semantics for the SpKAdd kernels.
+//!
+//! The paper presents SpKAdd as numeric addition, but every kernel —
+//! hash, SPA, heap, 2-way merge, sliding variants — is really a
+//! commutative-monoid fold over duplicate row indices, the same
+//! observation the GraphBLAS ewise-add line of work (Buluç–Gilbert,
+//! arXiv:1109.3739) builds on. A [`Monoid`] names the fold:
+//!
+//! * [`Plus`] — numeric addition, the benchmarked default;
+//! * [`Or`] — boolean OR: graph union over adjacency snapshots;
+//! * [`Min`] — minimum: distance-map merges;
+//! * [`MaxPlus`] — maximum: the additive monoid of the max-plus
+//!   (tropical) semiring, for path-relaxation batches;
+//! * [`SaturatingCount`] — saturating `u32` addition: overflow-proof
+//!   occurrence counters;
+//! * [`ThresholdedPlus`] — addition that drops entries with
+//!   `|v| < ε` at flush time, exercising the [`Monoid::keep`] hook.
+//!
+//! Everything monomorphizes: monoid instances are zero-sized (or a few
+//! bytes of runtime configuration, like `ThresholdedPlus::eps`), their
+//! methods are `#[inline]`, and the `Plus` instantiation compiles to the
+//! identical `+=` loops the kernels had when addition was hard-coded.
+//! The symbolic phase never consults the monoid at all — output
+//! *structure* is the set union of input structures, which is
+//! value-independent (see DESIGN.md).
+
+use spk_sparse::{Element, Scalar};
+use std::marker::PhantomData;
+
+/// A commutative monoid over [`Element`] values: the reduction the
+/// SpKAdd kernels apply to entries that share a `(row, col)` coordinate.
+///
+/// Laws (property-tested in `tests/monoid_laws.rs`):
+///
+/// * identity: `combine(IDENTITY, v) == v`;
+/// * commutativity: `combine(a, b) == combine(b, a)`;
+/// * associativity: any fold order over a multiset of values yields the
+///   same result (the parallel drivers fold in data-dependent orders).
+///
+/// Instances are passed *by value* into the kernels; methods take
+/// `&self` so a monoid can carry runtime configuration (e.g. the `ε` of
+/// [`ThresholdedPlus`]).
+pub trait Monoid: Copy + Send + Sync + 'static {
+    /// The element type being reduced.
+    type Value: Element;
+
+    /// The identity element. Hot kernels never materialize it (the first
+    /// occurrence of a row writes its value directly); it exists for the
+    /// algebra and its law tests.
+    const IDENTITY: Self::Value;
+
+    /// `true` if [`Monoid::keep`] can ever return `false`. Kernels use
+    /// this to compile the filtering branch out entirely for ordinary
+    /// monoids and to know that symbolic per-column counts are upper
+    /// bounds rather than exact sizes.
+    const MAY_FILTER: bool = false;
+
+    /// Folds `v` into `acc`.
+    fn combine(&self, acc: &mut Self::Value, v: Self::Value);
+
+    /// Whether a fully-reduced value should be emitted to the output.
+    /// Called once per output entry at flush/drain time; returning
+    /// `false` drops the entry (threshold pruning, annihilator removal).
+    #[inline]
+    fn keep(&self, _v: &Self::Value) -> bool {
+        true
+    }
+}
+
+/// Numeric addition — the paper's SpKAdd, and the default monoid of
+/// every front door (`SpkAddPlan<T>` means `SpkAddPlan<T, Plus<T>>`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Plus<T>(PhantomData<T>);
+
+impl<T> Plus<T> {
+    /// The addition monoid for `T`.
+    pub const fn new() -> Self {
+        Plus(PhantomData)
+    }
+}
+
+impl<T: Scalar> Monoid for Plus<T> {
+    type Value = T;
+    const IDENTITY: T = T::ZERO;
+
+    #[inline(always)]
+    fn combine(&self, acc: &mut T, v: T) {
+        *acc += v;
+    }
+}
+
+/// Boolean OR — structural union of adjacency snapshots.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Or;
+
+impl Monoid for Or {
+    type Value = bool;
+    const IDENTITY: bool = false;
+
+    #[inline(always)]
+    fn combine(&self, acc: &mut bool, v: bool) {
+        *acc |= v;
+    }
+}
+
+/// Minimum — merges distance maps by keeping the shortest entry.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Min<T>(PhantomData<T>);
+
+impl<T> Min<T> {
+    /// The minimum monoid for `T`.
+    pub const fn new() -> Self {
+        Min(PhantomData)
+    }
+}
+
+/// Maximum — the additive monoid of the max-plus (tropical) semiring,
+/// used by path-relaxation batches.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPlus<T>(PhantomData<T>);
+
+impl<T> MaxPlus<T> {
+    /// The maximum monoid for `T`.
+    pub const fn new() -> Self {
+        MaxPlus(PhantomData)
+    }
+}
+
+macro_rules! impl_min_max {
+    ($($t:ty => ($min_id:expr, $max_id:expr)),* $(,)?) => {$(
+        impl Monoid for Min<$t> {
+            type Value = $t;
+            const IDENTITY: $t = $min_id;
+
+            #[inline(always)]
+            fn combine(&self, acc: &mut $t, v: $t) {
+                if v < *acc {
+                    *acc = v;
+                }
+            }
+        }
+
+        impl Monoid for MaxPlus<$t> {
+            type Value = $t;
+            const IDENTITY: $t = $max_id;
+
+            #[inline(always)]
+            fn combine(&self, acc: &mut $t, v: $t) {
+                if v > *acc {
+                    *acc = v;
+                }
+            }
+        }
+    )*};
+}
+impl_min_max!(
+    f32 => (f32::INFINITY, f32::NEG_INFINITY),
+    f64 => (f64::INFINITY, f64::NEG_INFINITY),
+    i32 => (i32::MAX, i32::MIN),
+    i64 => (i64::MAX, i64::MIN),
+    u32 => (u32::MAX, u32::MIN),
+    u64 => (u64::MAX, u64::MIN),
+);
+
+/// Saturating `u32` addition — occurrence counting that clamps at
+/// `u32::MAX` instead of wrapping.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SaturatingCount;
+
+impl Monoid for SaturatingCount {
+    type Value = u32;
+    const IDENTITY: u32 = 0;
+
+    #[inline(always)]
+    fn combine(&self, acc: &mut u32, v: u32) {
+        *acc = acc.saturating_add(v);
+    }
+}
+
+/// `f64` addition that drops entries with `|v| < eps` when the
+/// accumulator flushes — the filtered-merge monoid (GraphBLAS-style
+/// thresholded ewise-add). Because entries can vanish, symbolic counts
+/// become upper bounds and the drivers route through their compaction
+/// path ([`Monoid::MAY_FILTER`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdedPlus {
+    /// Magnitude below which a fully-reduced entry is dropped at flush.
+    pub eps: f64,
+}
+
+impl ThresholdedPlus {
+    /// Addition that prunes `|v| < eps` on flush.
+    pub const fn new(eps: f64) -> Self {
+        Self { eps }
+    }
+}
+
+impl Monoid for ThresholdedPlus {
+    type Value = f64;
+    const IDENTITY: f64 = 0.0;
+    const MAY_FILTER: bool = true;
+
+    #[inline(always)]
+    fn combine(&self, acc: &mut f64, v: f64) {
+        *acc += v;
+    }
+
+    #[inline(always)]
+    fn keep(&self, v: &f64) -> bool {
+        v.abs() >= self.eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold<O: Monoid>(m: O, vs: &[O::Value]) -> O::Value {
+        let mut acc = O::IDENTITY;
+        for &v in vs {
+            m.combine(&mut acc, v);
+        }
+        acc
+    }
+
+    #[test]
+    fn plus_is_addition() {
+        assert_eq!(fold(Plus::<f64>::new(), &[1.0, 2.0, 3.5]), 6.5);
+        assert_eq!(fold(Plus::<i32>::new(), &[]), 0);
+    }
+
+    #[test]
+    fn or_is_union() {
+        assert!(!fold(Or, &[]));
+        assert!(!fold(Or, &[false, false]));
+        assert!(fold(Or, &[false, true, false]));
+    }
+
+    #[test]
+    fn min_and_max_identities() {
+        assert_eq!(fold(Min::<f64>::new(), &[3.0, -1.0, 2.0]), -1.0);
+        assert_eq!(fold(Min::<f64>::new(), &[]), f64::INFINITY);
+        assert_eq!(fold(MaxPlus::<i64>::new(), &[3, -1, 2]), 3);
+        assert_eq!(fold(MaxPlus::<i64>::new(), &[]), i64::MIN);
+        assert_eq!(fold(Min::<u32>::new(), &[7, 4]), 4);
+    }
+
+    #[test]
+    fn saturating_count_clamps() {
+        assert_eq!(fold(SaturatingCount, &[1, 2, 3]), 6);
+        assert_eq!(fold(SaturatingCount, &[u32::MAX, 5]), u32::MAX);
+    }
+
+    #[test]
+    fn thresholded_plus_keep() {
+        let m = ThresholdedPlus::new(0.5);
+        assert_eq!(fold(m, &[0.25, 0.5]), 0.75);
+        assert!(m.keep(&0.75));
+        assert!(m.keep(&-0.5));
+        assert!(!m.keep(&0.25));
+        assert!(!m.keep(&-0.499));
+        const { assert!(ThresholdedPlus::MAY_FILTER) };
+        const { assert!(!Plus::<f64>::MAY_FILTER) };
+    }
+}

@@ -29,6 +29,7 @@
 //! ```
 
 use crate::kway::{kway_numeric, NumericKernel, RecycledBufs};
+use crate::monoid::{Monoid, Plus};
 use crate::parallel::Scheduling;
 use crate::sliding::budget_entries;
 use crate::symbolic::{symbolic_counts, DriverCtx, SymbolicStrategy};
@@ -38,7 +39,7 @@ use crate::{
     libstyle, numeric_entry_bytes, twoway, Algorithm, Options, PhaseTimings, SpkaddError,
     SYMBOLIC_ENTRY_BYTES,
 };
-use spk_sparse::{common_shape, CscMatrix, Scalar, SparseError};
+use spk_sparse::{common_shape, CscMatrix, Element, Scalar, SparseError};
 
 /// Builder for a [`SpkAddPlan`]: fixes the output shape, algorithm, and
 /// execution options up front so the plan can resolve budgets and size
@@ -122,8 +123,22 @@ impl SpkAdd {
 
     /// Resolves the builder into a reusable plan, validating the options
     /// ([`Options::validate`]) and deriving the sliding budgets from the
-    /// machine model.
+    /// machine model. The plan reduces duplicates with numeric addition —
+    /// use [`SpkAdd::build_with_monoid`] for any other reduction.
     pub fn build<T: Scalar>(self) -> Result<SpkAddPlan<T>, SpkaddError> {
+        self.build_with_monoid(Plus::new())
+    }
+
+    /// Like [`SpkAdd::build`], but the plan folds duplicate coordinates
+    /// with an arbitrary [`Monoid`] — OR-union, min, max-plus, filtered
+    /// addition — instead of `+`. All nine algorithms (and `Auto`) work
+    /// unchanged; the whole pipeline monomorphizes over the monoid, so
+    /// `build_with_monoid(Plus::new())` compiles to exactly the
+    /// [`SpkAdd::build`] code path.
+    pub fn build_with_monoid<T: Element, O: Monoid<Value = T>>(
+        self,
+        monoid: O,
+    ) -> Result<SpkAddPlan<T, O>, SpkaddError> {
         self.opts.validate()?;
         let workers = if self.opts.threads == 0 {
             rayon::current_num_threads()
@@ -159,6 +174,7 @@ impl SpkAdd {
             shape: (self.nrows, self.ncols),
             algorithm: self.algorithm,
             opts: self.opts,
+            monoid,
             workers,
             budget_sym,
             budget_add,
@@ -178,10 +194,11 @@ impl SpkAdd {
 /// [`SpkAddPlan::execute_into`] additionally recycles the output
 /// buffers of a previous result.
 #[derive(Debug)]
-pub struct SpkAddPlan<T: Scalar> {
+pub struct SpkAddPlan<T: Element, O: Monoid<Value = T> = Plus<T>> {
     shape: (usize, usize),
     algorithm: Algorithm,
     opts: Options,
+    monoid: O,
     workers: usize,
     budget_sym: usize,
     budget_add: usize,
@@ -192,10 +209,16 @@ pub struct SpkAddPlan<T: Scalar> {
     executions: u64,
 }
 
-impl<T: Scalar> SpkAddPlan<T> {
+impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
     /// Shape every executed collection must have.
     pub fn shape(&self) -> (usize, usize) {
         self.shape
+    }
+
+    /// The monoid folding duplicate coordinates ([`Plus`] unless the plan
+    /// was built with [`SpkAdd::build_with_monoid`]).
+    pub fn monoid(&self) -> O {
+        self.monoid
     }
 
     /// The configured algorithm (possibly [`Algorithm::Auto`]).
@@ -346,34 +369,35 @@ impl<T: Scalar> SpkAddPlan<T> {
         };
         let sched = self.opts.scheduling;
         let symbolic = self.opts.symbolic;
+        let monoid = self.monoid;
         let pool = &self.pool;
         let body = move || {
             let t0 = std::time::Instant::now();
             match alg {
                 Algorithm::Auto => unreachable!("resolved above"),
                 Algorithm::TwoWayIncremental => (
-                    twoway::spkadd_incremental(mats, 0, sched),
+                    twoway::spkadd_incremental_with(mats, 0, sched, monoid),
                     PhaseTimings {
                         symbolic: 0.0,
                         numeric: t0.elapsed().as_secs_f64(),
                     },
                 ),
                 Algorithm::TwoWayTree => (
-                    twoway::spkadd_tree(mats, 0, sched),
+                    twoway::spkadd_tree_with(mats, 0, sched, monoid),
                     PhaseTimings {
                         symbolic: 0.0,
                         numeric: t0.elapsed().as_secs_f64(),
                     },
                 ),
                 Algorithm::LibIncremental => (
-                    libstyle::lib_incremental(mats),
+                    libstyle::lib_incremental_with(mats, monoid),
                     PhaseTimings {
                         symbolic: 0.0,
                         numeric: t0.elapsed().as_secs_f64(),
                     },
                 ),
                 Algorithm::LibTree => (
-                    libstyle::lib_tree(mats),
+                    libstyle::lib_tree_with(mats, monoid),
                     PhaseTimings {
                         symbolic: 0.0,
                         numeric: t0.elapsed().as_secs_f64(),
@@ -405,7 +429,8 @@ impl<T: Scalar> SpkAddPlan<T> {
                         _ => unreachable!(),
                     };
                     let t1 = std::time::Instant::now();
-                    let out = kway_numeric(mats, &counts, exact, kernel, &ctx, pool, recycle);
+                    let out =
+                        kway_numeric(mats, &counts, exact, kernel, monoid, &ctx, pool, recycle);
                     (
                         out,
                         PhaseTimings {

@@ -15,9 +15,10 @@
 //! per-column cost.
 
 use crate::hashtab::{HashAccumulator, SymbolicHashTable};
-use crate::kernels::{hash_add_column, hash_symbolic_column};
+use crate::kernels::{hash_add_column_with, hash_symbolic_column};
 use crate::mem::MemModel;
-use spk_sparse::{ColView, Scalar};
+use crate::monoid::{Monoid, Plus};
+use spk_sparse::{ColView, Element, Scalar};
 
 /// Per-thread hash-table budget in *entries*, derived from the machine
 /// model (Alg 7/8 line 3 rearranged): `M / (b·T)`.
@@ -40,7 +41,7 @@ pub struct SlidingScratch<T> {
     vals: Vec<Vec<T>>,
 }
 
-impl<T: Scalar> SlidingScratch<T> {
+impl<T: Element> SlidingScratch<T> {
     /// Empty scratch; buffers grow on first use and are reused after.
     pub fn new() -> Self {
         Self {
@@ -90,7 +91,7 @@ fn panel_bound(i: usize, parts: usize, m: usize) -> u32 {
 ///
 /// `inputs_sorted` selects binary-search panelling (paper) vs bucketing.
 #[allow(clippy::too_many_arguments)]
-pub fn sliding_symbolic_column<T: Scalar, M: MemModel>(
+pub fn sliding_symbolic_column<T: Element, M: MemModel>(
     cols: &[ColView<'_, T>],
     m: usize,
     budget: usize,
@@ -162,10 +163,45 @@ pub fn sliding_add_column<T: Scalar, M: MemModel>(
     scratch: &mut SlidingScratch<T>,
     mem: &mut M,
 ) -> usize {
+    sliding_add_column_with(
+        cols,
+        m,
+        budget,
+        onz,
+        ht,
+        out_rows,
+        out_vals,
+        sorted,
+        inputs_sorted,
+        Plus::new(),
+        scratch,
+        mem,
+    )
+}
+
+/// Monoid-generic sliding-hash addition — see [`sliding_add_column`],
+/// which is this with [`Plus`]. With a filtering monoid the symbolic
+/// `onz` is only an upper bound, so fewer than `onz` entries may be
+/// written.
+#[allow(clippy::too_many_arguments)]
+pub fn sliding_add_column_with<T: Element, O: Monoid<Value = T>, M: MemModel>(
+    cols: &[ColView<'_, T>],
+    m: usize,
+    budget: usize,
+    onz: usize,
+    ht: &mut HashAccumulator<T>,
+    out_rows: &mut [u32],
+    out_vals: &mut [T],
+    sorted: bool,
+    inputs_sorted: bool,
+    monoid: O,
+    scratch: &mut SlidingScratch<T>,
+    mem: &mut M,
+) -> usize {
     let parts = num_parts(onz, budget);
     if parts == 1 {
         ht.reserve_for(onz);
-        return hash_add_column(cols, ht, out_rows, out_vals, sorted, mem);
+        return hash_add_column_with(cols, ht, out_rows, out_vals, sorted, monoid, mem);
     }
     let mut written = 0usize;
     if inputs_sorted {
@@ -177,12 +213,13 @@ pub fn sliding_add_column<T: Scalar, M: MemModel>(
             sub.extend(cols.iter().map(|c| c.row_range(r1, r2)));
             let panel_inz: usize = sub.iter().map(|c| c.nnz()).sum();
             ht.reserve_for(panel_inz.min(budget));
-            written += hash_add_column(
+            written += hash_add_column_with(
                 &sub,
                 ht,
                 &mut out_rows[written..],
                 &mut out_vals[written..],
                 sorted,
+                monoid,
                 mem,
             );
         }
@@ -202,17 +239,22 @@ pub fn sliding_add_column<T: Scalar, M: MemModel>(
                 vals: &scratch.vals[p],
             }];
             ht.reserve_for(scratch.rows[p].len().min(budget));
-            written += hash_add_column(
+            written += hash_add_column_with(
                 &view,
                 ht,
                 &mut out_rows[written..],
                 &mut out_vals[written..],
                 sorted,
+                monoid,
                 mem,
             );
         }
     }
-    debug_assert_eq!(written, onz);
+    debug_assert!(if O::MAY_FILTER {
+        written <= onz
+    } else {
+        written == onz
+    });
     written
 }
 
@@ -260,7 +302,14 @@ mod tests {
         let mut ht = HashAccumulator::<f64>::with_capacity(64);
         let mut ref_rows = vec![0u32; 64];
         let mut ref_vals = vec![0.0f64; 64];
-        let n_ref = hash_add_column(&cols, &mut ht, &mut ref_rows, &mut ref_vals, true, &mut mem);
+        let n_ref = crate::kernels::hash_add_column(
+            &cols,
+            &mut ht,
+            &mut ref_rows,
+            &mut ref_vals,
+            true,
+            &mut mem,
+        );
 
         // Sliding with a tiny budget forces many panels.
         let mut sht = SymbolicHashTable::with_capacity(4);

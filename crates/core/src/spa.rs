@@ -10,7 +10,8 @@
 //! thread-private SPA).
 
 use crate::mem::MemModel;
-use spk_sparse::{ColView, Scalar};
+use crate::monoid::{Monoid, Plus};
+use spk_sparse::{ColView, Element, Scalar};
 
 /// Thread-private sparse accumulator over `m` rows.
 #[derive(Debug, Clone)]
@@ -21,7 +22,7 @@ pub struct Spa<T> {
     idx: Vec<u32>,
 }
 
-impl<T: Scalar> Spa<T> {
+impl<T: Element> Spa<T> {
     /// A SPA for matrices with `m` rows.
     pub fn new(m: usize) -> Self {
         Self {
@@ -50,9 +51,16 @@ impl<T: Scalar> Spa<T> {
         self.idx.is_empty()
     }
 
-    /// Scatters `v` into row `r` (Alg 4 lines 5–7).
+    /// Scatters `v` into row `r`, folding with `monoid` on repeat touches
+    /// (Alg 4 lines 5–7, generalized from `+=`).
     #[inline]
-    pub fn scatter<M: MemModel>(&mut self, r: u32, v: T, mem: &mut M) {
+    pub fn scatter_combine<O: Monoid<Value = T>, M: MemModel>(
+        &mut self,
+        r: u32,
+        v: T,
+        monoid: O,
+        mem: &mut M,
+    ) {
         let ri = r as usize;
         debug_assert!(ri < self.vals.len(), "row index out of SPA range");
         mem.op(1);
@@ -62,7 +70,7 @@ impl<T: Scalar> Spa<T> {
                 self.vals.as_ptr() as usize + ri * std::mem::size_of::<T>(),
                 std::mem::size_of::<T>(),
             );
-            self.vals[ri] += v;
+            monoid.combine(&mut self.vals[ri], v);
         } else {
             self.stamps[ri] = self.epoch;
             self.vals[ri] = v;
@@ -75,38 +83,73 @@ impl<T: Scalar> Spa<T> {
         );
     }
 
+    /// Marks row `r` as touched without consuming a value — the symbolic
+    /// phase's scatter. Issues the same memory traffic as
+    /// [`Spa::scatter_combine`] so the instrumentation models observe an
+    /// identical address stream, but never reads a value: symbolic output
+    /// structure is monoid-independent.
+    #[inline]
+    pub fn scatter_mark<M: MemModel>(&mut self, r: u32, mem: &mut M) {
+        let ri = r as usize;
+        debug_assert!(ri < self.vals.len(), "row index out of SPA range");
+        mem.op(1);
+        mem.read(self.stamps.as_ptr() as usize + ri * 4, 4);
+        if self.stamps[ri] == self.epoch {
+            mem.read(
+                self.vals.as_ptr() as usize + ri * std::mem::size_of::<T>(),
+                std::mem::size_of::<T>(),
+            );
+        } else {
+            self.stamps[ri] = self.epoch;
+            self.idx.push(r);
+            mem.write(self.stamps.as_ptr() as usize + ri * 4, 4);
+        }
+        mem.write(
+            self.vals.as_ptr() as usize + ri * std::mem::size_of::<T>(),
+            std::mem::size_of::<T>(),
+        );
+    }
+
     /// Emits the accumulated column (Alg 4 lines 8–10), optionally sorting
     /// the index list first, advances the epoch, and returns the entry
-    /// count.
-    pub fn drain_into<M: MemModel>(
+    /// count. Entries failing [`Monoid::keep`] are dropped at this flush
+    /// point (compiled out for monoids that never filter).
+    pub fn drain_into_with<O: Monoid<Value = T>, M: MemModel>(
         &mut self,
         out_rows: &mut [u32],
         out_vals: &mut [T],
         sorted: bool,
+        monoid: O,
         mem: &mut M,
     ) -> usize {
         if sorted {
             self.idx.sort_unstable();
         }
         let n = self.idx.len();
-        debug_assert!(out_rows.len() >= n && out_vals.len() >= n);
-        for (i, &r) in self.idx.iter().enumerate() {
-            out_rows[i] = r;
-            out_vals[i] = self.vals[r as usize];
+        let mut written = 0usize;
+        for &r in self.idx.iter() {
+            let v = self.vals[r as usize];
             mem.read(
                 self.vals.as_ptr() as usize + r as usize * std::mem::size_of::<T>(),
                 std::mem::size_of::<T>(),
             );
-            mem.write(out_rows.as_ptr() as usize + i * 4, 4);
+            if O::MAY_FILTER && !monoid.keep(&v) {
+                continue;
+            }
+            out_rows[written] = r;
+            out_vals[written] = v;
+            mem.write(out_rows.as_ptr() as usize + written * 4, 4);
             mem.write(
-                out_vals.as_ptr() as usize + i * std::mem::size_of::<T>(),
+                out_vals.as_ptr() as usize + written * std::mem::size_of::<T>(),
                 std::mem::size_of::<T>(),
             );
+            written += 1;
         }
         mem.op(n as u64);
+        debug_assert!(out_rows.len() >= written && out_vals.len() >= written);
         self.idx.clear();
         self.advance_epoch();
-        n
+        written
     }
 
     /// Counts-only variant for the symbolic phase: number of distinct rows,
@@ -126,6 +169,27 @@ impl<T: Scalar> Spa<T> {
         } else {
             self.epoch += 1;
         }
+    }
+}
+
+impl<T: Scalar> Spa<T> {
+    /// Scatters `v` into row `r` — [`Spa::scatter_combine`] with the
+    /// [`Plus`] monoid.
+    #[inline]
+    pub fn scatter<M: MemModel>(&mut self, r: u32, v: T, mem: &mut M) {
+        self.scatter_combine(r, v, Plus::new(), mem);
+    }
+
+    /// Emits the accumulated column — [`Spa::drain_into_with`] with the
+    /// [`Plus`] monoid.
+    pub fn drain_into<M: MemModel>(
+        &mut self,
+        out_rows: &mut [u32],
+        out_vals: &mut [T],
+        sorted: bool,
+        mem: &mut M,
+    ) -> usize {
+        self.drain_into_with(out_rows, out_vals, sorted, Plus::new(), mem)
     }
 }
 
@@ -152,16 +216,47 @@ pub fn sliding_spa_add_column<T: Scalar, M: MemModel>(
     scratch: &mut crate::sliding::SlidingScratch<T>,
     mem: &mut M,
 ) -> usize {
+    sliding_spa_add_column_with(
+        cols,
+        m,
+        budget_rows,
+        spa,
+        out_rows,
+        out_vals,
+        sorted,
+        inputs_sorted,
+        Plus::new(),
+        scratch,
+        mem,
+    )
+}
+
+/// Monoid-generic sliding SPA addition — see
+/// [`sliding_spa_add_column`], which is this with [`Plus`].
+#[allow(clippy::too_many_arguments)]
+pub fn sliding_spa_add_column_with<T: Element, O: Monoid<Value = T>, M: MemModel>(
+    cols: &[ColView<'_, T>],
+    m: usize,
+    budget_rows: usize,
+    spa: &mut Spa<T>,
+    out_rows: &mut [u32],
+    out_vals: &mut [T],
+    sorted: bool,
+    inputs_sorted: bool,
+    monoid: O,
+    scratch: &mut crate::sliding::SlidingScratch<T>,
+    mem: &mut M,
+) -> usize {
     let budget_rows = budget_rows.max(1);
     let parts = m.div_ceil(budget_rows).max(1);
     if parts == 1 {
         let mut written = 0usize;
         for col in cols {
             for (r, v) in col.iter() {
-                spa.scatter(r, v, mem);
+                spa.scatter_combine(r, v, monoid, mem);
             }
         }
-        written += spa.drain_into(out_rows, out_vals, sorted, mem);
+        written += spa.drain_into_with(out_rows, out_vals, sorted, monoid, mem);
         return written;
     }
     debug_assert!(spa.num_rows() >= budget_rows);
@@ -172,13 +267,14 @@ pub fn sliding_spa_add_column<T: Scalar, M: MemModel>(
             let r2 = (((p + 1) as u64 * m as u64) / parts as u64) as u32;
             for col in cols {
                 for (r, v) in col.row_range(r1, r2).iter() {
-                    spa.scatter(r - r1, v, mem);
+                    spa.scatter_combine(r - r1, v, monoid, mem);
                 }
             }
-            let n = spa.drain_into(
+            let n = spa.drain_into_with(
                 &mut out_rows[written..],
                 &mut out_vals[written..],
                 sorted,
+                monoid,
                 mem,
             );
             // Rebase panel-local rows to global indices.
@@ -201,12 +297,13 @@ pub fn sliding_spa_add_column<T: Scalar, M: MemModel>(
         for (p, &r1) in bounds[..parts].iter().enumerate() {
             let (rows, vals) = scratch.part(p);
             for (r, v) in rows.iter().zip(vals) {
-                spa.scatter(*r - r1, *v, mem);
+                spa.scatter_combine(*r - r1, *v, monoid, mem);
             }
-            let n = spa.drain_into(
+            let n = spa.drain_into_with(
                 &mut out_rows[written..],
                 &mut out_vals[written..],
                 sorted,
+                monoid,
                 mem,
             );
             for slot in &mut out_rows[written..written + n] {

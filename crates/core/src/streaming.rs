@@ -10,11 +10,12 @@
 //! O(batch · max nnz + nnz(total)) instead of O(Σ nnz), at the cost of
 //! one extra 2-way pass per batch.
 
+use crate::monoid::{Monoid, Plus};
 use crate::parallel::Scheduling;
 use crate::sliding::budget_entries;
-use crate::twoway::add_pair;
+use crate::twoway::add_pair_with;
 use crate::{numeric_entry_bytes, Algorithm, Options, SpkAdd, SpkAddPlan, SpkaddError};
-use spk_sparse::{CscMatrix, Scalar, SparseError};
+use spk_sparse::{CscMatrix, Element, Scalar, SparseError};
 
 /// When a [`StreamingAccumulator`] reduces its pending batch.
 ///
@@ -42,7 +43,7 @@ pub enum FlushPolicy {
 impl FlushPolicy {
     /// Resolves the policy against execution options into concrete
     /// `(matrix, nnz)` budgets (`usize::MAX` = unbounded on that axis).
-    pub fn budgets<T: Scalar>(&self, opts: &Options) -> (usize, usize) {
+    pub fn budgets<T: Element>(&self, opts: &Options) -> (usize, usize) {
         match *self {
             FlushPolicy::Matrices(n) => (n.max(1), usize::MAX),
             FlushPolicy::Nnz(b) => (usize::MAX, b.max(1)),
@@ -62,7 +63,7 @@ impl FlushPolicy {
 /// shape — reuses its hash tables and SPA panels instead of reallocating
 /// them per flush.
 #[derive(Debug)]
-pub struct StreamingAccumulator<T: Scalar> {
+pub struct StreamingAccumulator<T: Element, O: Monoid<Value = T> = Plus<T>> {
     shape: (usize, usize),
     /// Flush once `pending` reaches this many matrices…
     mat_budget: usize,
@@ -70,9 +71,10 @@ pub struct StreamingAccumulator<T: Scalar> {
     nnz_budget: usize,
     algorithm: Algorithm,
     opts: Options,
+    monoid: O,
     /// The retained batch-reduction plan; `None` until the first flush
     /// (building it eagerly would charge never-flushed accumulators).
-    plan: Option<SpkAddPlan<T>>,
+    plan: Option<SpkAddPlan<T, O>>,
     pending: Vec<CscMatrix<T>>,
     pending_nnz: usize,
     total: Option<CscMatrix<T>>,
@@ -105,27 +107,9 @@ impl<T: Scalar> StreamingAccumulator<T> {
         ncols: usize,
         policy: FlushPolicy,
         algorithm: Algorithm,
-        mut opts: Options,
+        opts: Options,
     ) -> Self {
-        let (mat_budget, nnz_budget) = policy.budgets::<T>(&opts);
-        // The streaming merge (`add_pair` in `flush`) requires sorted
-        // canonical operands, so batch reductions must emit sorted columns
-        // even when the caller prefers unsorted output — otherwise the
-        // two-pointer merge would silently mis-sum unsorted columns.
-        opts.sorted_output = true;
-        Self {
-            shape: (nrows, ncols),
-            mat_budget,
-            nnz_budget,
-            algorithm,
-            opts,
-            plan: None,
-            pending: Vec::new(),
-            pending_nnz: 0,
-            total: None,
-            batches_flushed: 0,
-            matrices_seen: 0,
-        }
+        Self::with_monoid(nrows, ncols, policy, algorithm, opts, Plus::new())
     }
 
     /// Convenience constructor: hash SpKAdd with default options.
@@ -137,6 +121,45 @@ impl<T: Scalar> StreamingAccumulator<T> {
             Algorithm::Hash,
             Options::default(),
         )
+    }
+}
+
+impl<T: Element, O: Monoid<Value = T>> StreamingAccumulator<T, O> {
+    /// A new accumulator reducing under an arbitrary [`Monoid`] — both
+    /// the batch k-way reductions and the running-total 2-way merges fold
+    /// with `monoid.combine` (and drop entries failing `monoid.keep`).
+    ///
+    /// Note for filtering monoids: the stream is folded *per batch*, so
+    /// `keep` is applied at every flush boundary, not once over the whole
+    /// stream — the same per-level semantics as the tree drivers.
+    pub fn with_monoid(
+        nrows: usize,
+        ncols: usize,
+        policy: FlushPolicy,
+        algorithm: Algorithm,
+        mut opts: Options,
+        monoid: O,
+    ) -> Self {
+        let (mat_budget, nnz_budget) = policy.budgets::<T>(&opts);
+        // The streaming merge (`add_pair_with` in `flush`) requires sorted
+        // canonical operands, so batch reductions must emit sorted columns
+        // even when the caller prefers unsorted output — otherwise the
+        // two-pointer merge would silently mis-combine unsorted columns.
+        opts.sorted_output = true;
+        Self {
+            shape: (nrows, ncols),
+            mat_budget,
+            nnz_budget,
+            algorithm,
+            opts,
+            monoid,
+            plan: None,
+            pending: Vec::new(),
+            pending_nnz: 0,
+            total: None,
+            batches_flushed: 0,
+            matrices_seen: 0,
+        }
     }
 
     /// Number of matrices accepted so far.
@@ -187,7 +210,7 @@ impl<T: Scalar> StreamingAccumulator<T> {
     }
 
     /// The retained batch-reduction plan (`None` before the first flush).
-    pub fn plan(&self) -> Option<&SpkAddPlan<T>> {
+    pub fn plan(&self) -> Option<&SpkAddPlan<T, O>> {
         self.plan.as_ref()
     }
 
@@ -203,7 +226,7 @@ impl<T: Scalar> StreamingAccumulator<T> {
                 let built = SpkAdd::new(self.shape.0, self.shape.1)
                     .algorithm(self.algorithm)
                     .options(self.opts.clone())
-                    .build::<T>()?;
+                    .build_with_monoid(self.monoid)?;
                 self.plan.insert(built)
             }
         };
@@ -218,7 +241,13 @@ impl<T: Scalar> StreamingAccumulator<T> {
                 // The running total and the batch sum are both sorted
                 // canonical outputs, so the streaming merge is one linear
                 // 2-way pass.
-                add_pair(&acc, &batch_sum, self.opts.threads, Scheduling::default())
+                add_pair_with(
+                    &acc,
+                    &batch_sum,
+                    self.opts.threads,
+                    Scheduling::default(),
+                    self.monoid,
+                )
             }
         });
         Ok(())

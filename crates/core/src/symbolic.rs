@@ -14,7 +14,7 @@ use crate::parallel::{plan_ranges, Scheduling};
 use crate::sliding::sliding_symbolic_column;
 use crate::workspace::WorkspacePool;
 use rayon::prelude::*;
-use spk_sparse::{ColView, CscMatrix, Scalar};
+use spk_sparse::{ColView, CscMatrix, Element};
 
 /// Which data structure computes the per-column output sizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,7 +52,7 @@ pub(crate) struct DriverCtx {
 
 /// Per-column total input nonzeros — the symbolic-phase load-balancing
 /// weights (§III-A) and the upper-bound column sizes.
-pub fn input_nnz_per_column<T: Scalar>(mats: &[&CscMatrix<T>]) -> Vec<usize> {
+pub fn input_nnz_per_column<T: Element>(mats: &[&CscMatrix<T>]) -> Vec<usize> {
     let n = mats[0].ncols();
     let mut w = vec![0usize; n];
     for m in mats {
@@ -67,7 +67,12 @@ pub fn input_nnz_per_column<T: Scalar>(mats: &[&CscMatrix<T>]) -> Vec<usize> {
 /// thread-private symbolic state from `pool` (§III-A) — the SPA symbolic
 /// state is O(m), so per-call allocation would charge it to every
 /// execution of a reused plan.
-pub(crate) fn symbolic_counts<T: Scalar>(
+///
+/// The symbolic phase is *monoid-independent*: output structure is the
+/// set union of input structures, so the counts hold for any
+/// [`crate::monoid::Monoid`]. A filtering monoid can only shrink them —
+/// the numeric driver then treats them as upper bounds and compacts.
+pub(crate) fn symbolic_counts<T: Element>(
     mats: &[&CscMatrix<T>],
     strategy: SymbolicStrategy,
     ctx: &DriverCtx,

@@ -15,13 +15,14 @@
 //! Both require sorted, duplicate-free input columns.
 
 use crate::mem::{MemModel, NullModel};
+use crate::monoid::{Monoid, Plus};
 use crate::parallel::{exclusive_prefix_sum, plan_ranges, split_output, Scheduling};
 use rayon::prelude::*;
-use spk_sparse::{ColView, CscMatrix, Scalar};
+use spk_sparse::{ColView, CscMatrix, Element, Scalar};
 
 /// Counts the entries `|A(:,j) ∪ B(:,j)|` a merge would produce.
 #[inline]
-pub fn col_merge_count<T: Scalar, M: MemModel>(
+pub fn col_merge_count<T: Element, M: MemModel>(
     a: ColView<'_, T>,
     b: ColView<'_, T>,
     mem: &mut M,
@@ -49,6 +50,23 @@ pub fn col_merge_into<T: Scalar, M: MemModel>(
     out_vals: &mut [T],
     mem: &mut M,
 ) -> usize {
+    col_merge_into_with(a, b, out_rows, out_vals, Plus::new(), mem)
+}
+
+/// Monoid-generic column merge — see [`col_merge_into`], which is this
+/// with [`Plus`]. Equal rows are folded with `monoid.combine`; every
+/// emitted entry (merged or passed through) is subject to `monoid.keep`,
+/// so a filtering monoid can return fewer entries than
+/// [`col_merge_count`] predicts.
+#[inline]
+pub fn col_merge_into_with<T: Element, O: Monoid<Value = T>, M: MemModel>(
+    a: ColView<'_, T>,
+    b: ColView<'_, T>,
+    out_rows: &mut [u32],
+    out_vals: &mut [T],
+    monoid: O,
+    mem: &mut M,
+) -> usize {
     let sz = std::mem::size_of::<T>();
     let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
     while i < a.rows.len() && j < b.rows.len() {
@@ -56,24 +74,30 @@ pub fn col_merge_into<T: Scalar, M: MemModel>(
         mem.read(a.rows.as_ptr() as usize + i * 4, 4);
         mem.read(b.rows.as_ptr() as usize + j * 4, 4);
         let (ra, rb) = (a.rows[i], b.rows[j]);
-        if ra < rb {
+        let (row, val) = if ra < rb {
             mem.read(a.vals.as_ptr() as usize + i * sz, sz);
-            out_rows[n] = ra;
-            out_vals[n] = a.vals[i];
+            let v = a.vals[i];
             i += 1;
+            (ra, v)
         } else if rb < ra {
             mem.read(b.vals.as_ptr() as usize + j * sz, sz);
-            out_rows[n] = rb;
-            out_vals[n] = b.vals[j];
+            let v = b.vals[j];
             j += 1;
+            (rb, v)
         } else {
             mem.read(a.vals.as_ptr() as usize + i * sz, sz);
             mem.read(b.vals.as_ptr() as usize + j * sz, sz);
-            out_rows[n] = ra;
-            out_vals[n] = a.vals[i] + b.vals[j];
+            let mut v = a.vals[i];
+            monoid.combine(&mut v, b.vals[j]);
             i += 1;
             j += 1;
+            (ra, v)
+        };
+        if O::MAY_FILTER && !monoid.keep(&val) {
+            continue;
         }
+        out_rows[n] = row;
+        out_vals[n] = val;
         mem.write(out_rows.as_ptr() as usize + n * 4, 4);
         mem.write(out_vals.as_ptr() as usize + n * sz, sz);
         n += 1;
@@ -81,21 +105,29 @@ pub fn col_merge_into<T: Scalar, M: MemModel>(
     while i < a.rows.len() {
         mem.read(a.rows.as_ptr() as usize + i * 4, 4);
         mem.read(a.vals.as_ptr() as usize + i * sz, sz);
-        out_rows[n] = a.rows[i];
-        out_vals[n] = a.vals[i];
+        let v = a.vals[i];
+        i += 1;
+        if O::MAY_FILTER && !monoid.keep(&v) {
+            continue;
+        }
+        out_rows[n] = a.rows[i - 1];
+        out_vals[n] = v;
         mem.write(out_rows.as_ptr() as usize + n * 4, 4);
         mem.write(out_vals.as_ptr() as usize + n * sz, sz);
-        i += 1;
         n += 1;
     }
     while j < b.rows.len() {
         mem.read(b.rows.as_ptr() as usize + j * 4, 4);
         mem.read(b.vals.as_ptr() as usize + j * sz, sz);
-        out_rows[n] = b.rows[j];
-        out_vals[n] = b.vals[j];
+        let v = b.vals[j];
+        j += 1;
+        if O::MAY_FILTER && !monoid.keep(&v) {
+            continue;
+        }
+        out_rows[n] = b.rows[j - 1];
+        out_vals[n] = v;
         mem.write(out_rows.as_ptr() as usize + n * 4, 4);
         mem.write(out_vals.as_ptr() as usize + n * sz, sz);
-        j += 1;
         n += 1;
     }
     n
@@ -111,6 +143,20 @@ pub fn add_pair<T: Scalar>(
     threads: usize,
     sched: Scheduling,
 ) -> CscMatrix<T> {
+    add_pair_with(a, b, threads, sched, Plus::new())
+}
+
+/// Monoid-generic parallel 2-way merge — see [`add_pair`], which is this
+/// with [`Plus`]. For a filtering monoid the counting pass yields *upper
+/// bounds*, so the fill pass records actual per-column sizes and a final
+/// compaction squeezes the dropped slots out.
+pub fn add_pair_with<T: Element, O: Monoid<Value = T>>(
+    a: &CscMatrix<T>,
+    b: &CscMatrix<T>,
+    threads: usize,
+    sched: Scheduling,
+    monoid: O,
+) -> CscMatrix<T> {
     debug_assert_eq!(a.shape(), b.shape());
     let n = a.ncols();
     // Per-column weights for balancing: the merge cost is linear in the
@@ -118,7 +164,8 @@ pub fn add_pair<T: Scalar>(
     let weights: Vec<usize> = (0..n).map(|j| a.col_nnz(j) + b.col_nnz(j)).collect();
     let ranges = plan_ranges(&weights, threads, sched);
 
-    // Pass 1: exact per-column output sizes.
+    // Pass 1: per-column output sizes (exact unless the monoid filters,
+    // in which case they are upper bounds).
     let mut counts = vec![0usize; n];
     {
         let mut parts: Vec<(std::ops::Range<usize>, &mut [usize])> = Vec::new();
@@ -140,23 +187,52 @@ pub fn add_pair<T: Scalar>(
     let mut rowidx = vec![0u32; nnz];
     let mut values = vec![T::default(); nnz];
 
-    // Pass 2: merge into disjoint windows.
-    let chunks = split_output(&colptr, &ranges, &mut rowidx, &mut values);
-    chunks.into_par_iter().for_each(|chunk| {
-        let mut mem = NullModel;
-        for j in chunk.cols.clone() {
-            let lo = colptr[j] - chunk.base;
-            let hi = colptr[j + 1] - chunk.base;
-            let written = col_merge_into(
-                a.col(j),
-                b.col(j),
-                &mut chunk.rows[lo..hi],
-                &mut chunk.vals[lo..hi],
-                &mut mem,
-            );
-            debug_assert_eq!(written, hi - lo);
+    // Pass 2: merge into disjoint windows, recording actual sizes.
+    let mut actual = vec![0usize; n];
+    {
+        let mut actual_parts: Vec<&mut [usize]> = Vec::new();
+        let mut rest = actual.as_mut_slice();
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            actual_parts.push(head);
+            rest = tail;
         }
-    });
+        let chunks = split_output(&colptr, &ranges, &mut rowidx, &mut values);
+        chunks
+            .into_par_iter()
+            .zip(actual_parts.into_par_iter())
+            .for_each(|(chunk, act)| {
+                let mut mem = NullModel;
+                for (slot, j) in chunk.cols.clone().enumerate() {
+                    let lo = colptr[j] - chunk.base;
+                    let hi = colptr[j + 1] - chunk.base;
+                    let written = col_merge_into_with(
+                        a.col(j),
+                        b.col(j),
+                        &mut chunk.rows[lo..hi],
+                        &mut chunk.vals[lo..hi],
+                        monoid,
+                        &mut mem,
+                    );
+                    debug_assert!(O::MAY_FILTER || written == hi - lo);
+                    act[slot] = written;
+                }
+            });
+    }
+
+    if O::MAY_FILTER {
+        // Squeeze the dropped slots out of the over-allocated windows.
+        let tight = exclusive_prefix_sum(&actual);
+        let tight_nnz = *tight.last().unwrap();
+        let mut t_rows = vec![0u32; tight_nnz];
+        let mut t_vals = vec![T::default(); tight_nnz];
+        for j in 0..n {
+            let (src, dst, len) = (colptr[j], tight[j], actual[j]);
+            t_rows[dst..dst + len].copy_from_slice(&rowidx[src..src + len]);
+            t_vals[dst..dst + len].copy_from_slice(&values[src..src + len]);
+        }
+        return CscMatrix::from_parts(a.nrows(), a.ncols(), tight, t_rows, t_vals);
+    }
 
     CscMatrix::from_parts(a.nrows(), a.ncols(), colptr, rowidx, values)
 }
@@ -168,9 +244,19 @@ pub fn spkadd_incremental<T: Scalar>(
     threads: usize,
     sched: Scheduling,
 ) -> CscMatrix<T> {
+    spkadd_incremental_with(mats, threads, sched, Plus::new())
+}
+
+/// Monoid-generic incremental fold — see [`spkadd_incremental`].
+pub fn spkadd_incremental_with<T: Element, O: Monoid<Value = T>>(
+    mats: &[&CscMatrix<T>],
+    threads: usize,
+    sched: Scheduling,
+    monoid: O,
+) -> CscMatrix<T> {
     let mut acc = mats[0].clone();
     for a in &mats[1..] {
-        acc = add_pair(&acc, a, threads, sched);
+        acc = add_pair_with(&acc, a, threads, sched, monoid);
     }
     acc
 }
@@ -186,11 +272,21 @@ pub fn spkadd_tree<T: Scalar>(
     threads: usize,
     sched: Scheduling,
 ) -> CscMatrix<T> {
+    spkadd_tree_with(mats, threads, sched, Plus::new())
+}
+
+/// Monoid-generic tree fold — see [`spkadd_tree`].
+pub fn spkadd_tree_with<T: Element, O: Monoid<Value = T>>(
+    mats: &[&CscMatrix<T>],
+    threads: usize,
+    sched: Scheduling,
+    monoid: O,
+) -> CscMatrix<T> {
     // Leaf level: borrow the inputs.
     let mut level: Vec<CscMatrix<T>> = mats
         .par_chunks(2)
         .map(|pair| match pair {
-            [a, b] => add_pair(a, b, threads, sched),
+            [a, b] => add_pair_with(a, b, threads, sched, monoid),
             [a] => (*a).clone(),
             _ => unreachable!(),
         })
@@ -200,7 +296,7 @@ pub fn spkadd_tree<T: Scalar>(
         level = level
             .par_chunks(2)
             .map(|pair| match pair {
-                [a, b] => add_pair(a, b, threads, sched),
+                [a, b] => add_pair_with(a, b, threads, sched, monoid),
                 [a] => a.clone(),
                 _ => unreachable!(),
             })

@@ -21,7 +21,7 @@ use crate::hashtab::{HashAccumulator, SymbolicHashTable};
 use crate::heap::KwayHeap;
 use crate::sliding::SlidingScratch;
 use crate::spa::Spa;
-use spk_sparse::Scalar;
+use spk_sparse::Element;
 use std::sync::{Mutex, MutexGuard};
 
 /// Initial hash-table capacity; tables grow on demand via `reserve_for`.
@@ -42,7 +42,7 @@ pub struct Workspace<T> {
     allocations: u64,
 }
 
-impl<T: Scalar> Workspace<T> {
+impl<T: Element> Workspace<T> {
     /// An empty workspace; components materialize on first use.
     pub fn new() -> Self {
         Self {
@@ -145,7 +145,7 @@ pub struct WorkspacePool<T> {
     slots: Vec<Mutex<Workspace<T>>>,
 }
 
-impl<T: Scalar> WorkspacePool<T> {
+impl<T: Element> WorkspacePool<T> {
     /// A pool with one workspace per worker.
     pub fn new(workers: usize) -> Self {
         Self {

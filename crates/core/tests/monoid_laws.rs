@@ -1,0 +1,146 @@
+//! Algebraic-law property tests for every shipped [`Monoid`].
+//!
+//! The SpKAdd kernels are only interchangeable (heap vs hash vs SPA vs
+//! 2-way trees) when the combine they fold with is associative and
+//! commutative with an absorbing identity — different algorithms visit
+//! the same entries in different orders and groupings. These tests pin
+//! those laws for every monoid the crate ships, folding random value
+//! sequences under random permutations and random split points.
+
+use proptest::prelude::*;
+use spkadd::{MaxPlus, Min, Monoid, Or, Plus, SaturatingCount, ThresholdedPlus};
+
+/// Left fold from the identity — how every kernel accumulates a run.
+fn fold<O: Monoid>(monoid: O, vals: &[O::Value]) -> O::Value {
+    let mut acc = O::IDENTITY;
+    for &v in vals {
+        monoid.combine(&mut acc, v);
+    }
+    acc
+}
+
+/// Deterministic Fisher–Yates shuffle keyed by `seed`.
+fn shuffled<T: Copy>(vals: &[T], seed: u64) -> Vec<T> {
+    let mut out = vals.to_vec();
+    let mut s = seed | 1;
+    for i in (1..out.len()).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        out.swap(i, (s % (i as u64 + 1)) as usize);
+    }
+    out
+}
+
+/// The three laws every kernel relies on, checked on one value sequence:
+/// identity (`fold([v]) == v`), order-independence (commutativity +
+/// associativity under an arbitrary permutation), and the fold
+/// homomorphism `fold(xs ++ ys) == fold(xs) ⊕ fold(ys)` (how tree
+/// drivers regroup the reduction). The identity must also be a no-op
+/// when folded in anywhere, matching kernels that pre-fill with it.
+fn check_laws<O: Monoid>(monoid: O, vals: &[O::Value], seed: u64, split: usize) {
+    for &v in vals {
+        assert_eq!(fold(monoid, &[v]), v, "identity must absorb");
+    }
+    let reference = fold(monoid, vals);
+    assert_eq!(
+        fold(monoid, &shuffled(vals, seed)),
+        reference,
+        "fold must be order-independent"
+    );
+    let (xs, ys) = vals.split_at(split.min(vals.len()));
+    let mut grouped = fold(monoid, xs);
+    monoid.combine(&mut grouped, fold(monoid, ys));
+    assert_eq!(grouped, reference, "fold must be regroupable");
+    let mut padded = O::IDENTITY;
+    monoid.combine(&mut padded, reference);
+    monoid.combine(&mut padded, O::IDENTITY);
+    assert_eq!(padded, reference, "identity must be a two-sided no-op");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `Plus<f64>` on integer-valued draws (exact fp addition).
+    #[test]
+    fn plus_laws(
+        vals in proptest::collection::vec(-64i32..64, 0..24),
+        seed in 0u64..u64::MAX,
+        split in 0usize..24,
+    ) {
+        let vals: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+        check_laws(Plus::<f64>::new(), &vals, seed, split);
+    }
+
+    /// `Plus<i64>` — the integer instantiation is exact everywhere.
+    #[test]
+    fn plus_i64_laws(
+        vals in proptest::collection::vec(-1000i64..1000, 0..24),
+        seed in 0u64..u64::MAX,
+        split in 0usize..24,
+    ) {
+        check_laws(Plus::<i64>::new(), &vals, seed, split);
+    }
+
+    /// Boolean OR.
+    #[test]
+    fn or_laws(
+        vals in proptest::collection::vec(0i32..2, 0..24),
+        seed in 0u64..u64::MAX,
+        split in 0usize..24,
+    ) {
+        let vals: Vec<bool> = vals.iter().map(|&v| v != 0).collect();
+        check_laws(Or, &vals, seed, split);
+    }
+
+    /// Tropical min (identity `+∞`).
+    #[test]
+    fn min_laws(
+        vals in proptest::collection::vec(-1000i64..1000, 0..24),
+        seed in 0u64..u64::MAX,
+        split in 0usize..24,
+    ) {
+        check_laws(Min::<i64>::new(), &vals, seed, split);
+    }
+
+    /// Tropical max (identity `-∞`), float instantiation.
+    #[test]
+    fn max_plus_laws(
+        vals in proptest::collection::vec(-64i32..64, 0..24),
+        seed in 0u64..u64::MAX,
+        split in 0usize..24,
+    ) {
+        let vals: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+        check_laws(MaxPlus::<f64>::new(), &vals, seed, split);
+    }
+
+    /// Saturating occurrence counting — saturating_add is associative
+    /// and commutative on unsigned values.
+    #[test]
+    fn saturating_count_laws(
+        vals in proptest::collection::vec(0u32..u32::MAX, 0..24),
+        seed in 0u64..u64::MAX,
+        split in 0usize..24,
+    ) {
+        check_laws(SaturatingCount, &vals, seed, split);
+    }
+
+    /// `ThresholdedPlus` combines exactly like `Plus` (the filter lives
+    /// in `keep`, not `combine`, so the monoid laws are untouched), and
+    /// `keep` is the pure predicate `|v| >= eps`.
+    #[test]
+    fn thresholded_plus_laws(
+        vals in proptest::collection::vec(-64i32..64, 0..24),
+        seed in 0u64..u64::MAX,
+        split in 0usize..24,
+        eps in 0.0f64..8.0,
+    ) {
+        let monoid = ThresholdedPlus { eps };
+        let vals: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+        check_laws(monoid, &vals, seed, split);
+        for &v in &vals {
+            prop_assert_eq!(monoid.keep(&v), v.abs() >= eps);
+        }
+        prop_assert_eq!(fold(monoid, &vals), fold(Plus::new(), &vals));
+    }
+}

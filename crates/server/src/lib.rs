@@ -23,15 +23,22 @@
 //!   [`FlushPolicy`](spkadd::FlushPolicy) is derived from the machine
 //!   model ([`CacheConfig`](spkadd::CacheConfig)): pending slab entries
 //!   must fit in the shard's share of the LLC.
-//! * [`AggregatorService::finalize`] collects the per-shard partial sums
-//!   and vertically concatenates them
-//!   ([`CscMatrix::vstack`](spk_sparse::CscMatrix::vstack)) into the
-//!   exact global sum. Because the row ranges are disjoint, the
-//!   cross-shard tree reduction `Σ_s partial_s` degenerates to
-//!   concatenation — no numeric work, no rounding: the result is
-//!   *entry-for-entry identical* to a one-shot `spkadd_with` over the
-//!   same stream whenever the scalar additions are exact (integers, or
-//!   integer-valued floats), which the service test-suite asserts.
+//! * [`AggregatorService::finalize`] assembles the exact global sum with
+//!   a two-round, column-streaming sink: round 1 gathers only each
+//!   shard's per-column entry *counts* (which fix the global `colptr`
+//!   and let the result be allocated once, at final size), round 2
+//!   collects the partials one shard at a time and scatters each into
+//!   its column windows before the next arrives. Because the row ranges
+//!   are disjoint, the cross-shard tree reduction `Σ_s partial_s`
+//!   degenerates to concatenation — no numeric work, no rounding: the
+//!   result is *entry-for-entry identical* to a one-shot `spkadd_with`
+//!   over the same stream whenever the scalar additions are exact
+//!   (integers, or integer-valued floats), which the service test-suite
+//!   asserts.
+//! * [`AggregatorService::with_monoid`] runs the same machinery under
+//!   any [`Monoid`](spkadd::Monoid) — e.g. `Or` folds boolean adjacency
+//!   snapshots into their structural union (see
+//!   `examples/graph_union.rs`).
 //!
 //! ```
 //! use spk_server::{AggregatorService, ServiceConfig};

@@ -18,10 +18,11 @@
 
 use crate::plan::ShardPlan;
 use crate::ServerError;
-use spk_sparse::{CscMatrix, Scalar, SparseError};
+use spk_sparse::{CscMatrix, Element, Scalar, SparseError};
 use spkadd::sliding::budget_entries;
 use spkadd::{
-    numeric_entry_bytes, Algorithm, FlushPolicy, Options, SpkaddError, StreamingAccumulator,
+    numeric_entry_bytes, Algorithm, FlushPolicy, Monoid, Options, Plus, SpkaddError,
+    StreamingAccumulator,
 };
 use std::collections::HashMap;
 use std::ops::Range;
@@ -84,19 +85,30 @@ impl ServiceConfig {
     }
 }
 
-/// What a shard can answer when asked to finalize a key.
+/// What a shard can answer during the two-round finalize protocol.
 enum ShardReply<T> {
+    /// Round 1: the per-column entry counts of the shard's finished
+    /// partial (now stashed shard-side awaiting collection).
+    Counts(Vec<usize>),
+    /// Round 2: the stashed partial itself.
     Partial(CscMatrix<T>),
     Unknown,
     Failed(SpkaddError),
 }
 
-enum Msg<T: Scalar> {
+enum Msg<T: Element> {
     Slice {
         key: Arc<str>,
         slab: CscMatrix<T>,
     },
+    /// Round 1 of finalize: flush the key's accumulator, stash the
+    /// partial, answer its per-column counts.
     Finalize {
+        key: Arc<str>,
+        reply: Sender<ShardReply<T>>,
+    },
+    /// Round 2 of finalize: hand over (and forget) the stashed partial.
+    Collect {
         key: Arc<str>,
         reply: Sender<ShardReply<T>>,
     },
@@ -150,7 +162,7 @@ impl ServiceMetrics {
 /// still in flight yields an unspecified torn state — an in-flight
 /// matrix may be counted by some shards' partials and missed by others,
 /// so the result is not the sum of any prefix of the stream.
-pub struct AggregatorService<T: Scalar> {
+pub struct AggregatorService<T: Element, O: Monoid<Value = T> = Plus<T>> {
     shape: (usize, usize),
     plan: ShardPlan,
     algorithm: Algorithm,
@@ -159,11 +171,24 @@ pub struct AggregatorService<T: Scalar> {
     counters: Vec<Arc<ShardCounters>>,
     submitted: AtomicU64,
     workers: Vec<JoinHandle<()>>,
+    _monoid: std::marker::PhantomData<O>,
 }
 
 impl<T: Scalar> AggregatorService<T> {
     /// Spawns the shard workers for `nrows × ncols` matrices.
     pub fn new(nrows: usize, ncols: usize, config: ServiceConfig) -> Self {
+        Self::with_monoid(nrows, ncols, config, Plus::new())
+    }
+}
+
+impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
+    /// Spawns the shard workers, reducing every key's stream under
+    /// `monoid` instead of `+`. The shards partition *rows*, so entries
+    /// owned by different shards are never combined with each other —
+    /// the monoid only ever folds same-position entries inside one
+    /// shard's accumulator, and the finalize concatenation is
+    /// monoid-independent.
+    pub fn with_monoid(nrows: usize, ncols: usize, config: ServiceConfig, monoid: O) -> Self {
         let shards = if config.shards == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -201,7 +226,9 @@ impl<T: Scalar> AggregatorService<T> {
             let handle = std::thread::Builder::new()
                 .name(format!("spk-shard-{s}"))
                 .spawn(move || {
-                    shard_worker(rx, shard_rows, ncols, algorithm, policy, opts, worker_ctr)
+                    shard_worker(
+                        rx, shard_rows, ncols, algorithm, policy, opts, monoid, worker_ctr,
+                    )
                 })
                 .expect("failed to spawn shard worker");
             senders.push(tx);
@@ -217,6 +244,7 @@ impl<T: Scalar> AggregatorService<T> {
             counters,
             submitted: AtomicU64::new(0),
             workers,
+            _monoid: std::marker::PhantomData,
         }
     }
 
@@ -277,18 +305,27 @@ impl<T: Scalar> AggregatorService<T> {
         Ok(())
     }
 
-    /// Finalizes `key`: every shard flushes its accumulator and returns
-    /// its partial sum; the partials are vertically concatenated into
-    /// the exact global sum. Consumes the key's state on every reachable
-    /// shard — even when an error is returned — so a second finalize for
-    /// the same key reports [`ServerError::UnknownKey`]; a failed
-    /// finalize cannot be retried.
+    /// Finalizes `key` with a two-round, column-streaming sink.
+    ///
+    /// Round 1 asks every shard to flush its accumulator and answer only
+    /// the *per-column entry counts* of its (stashed) partial. Summing
+    /// the counts column-interleaved gives the exact global `colptr`, so
+    /// the result buffers are allocated **once**, at their final size.
+    /// Round 2 then collects the partials one shard at a time, in shard
+    /// order, scattering each straight into its per-column windows and
+    /// dropping it immediately — the transient memory above the final
+    /// result is one shard's partial, not a second full copy as a
+    /// materialize-everything-then-`vstack` sink would need.
+    ///
+    /// Consumes the key's state on every reachable shard — even when an
+    /// error is returned — so a second finalize for the same key reports
+    /// [`ServerError::UnknownKey`]; a failed finalize cannot be retried.
     pub fn finalize(&self, key: &str) -> Result<CscMatrix<T>, ServerError> {
         let key: Arc<str> = Arc::from(key);
-        // One reply channel per shard keeps the partials in shard order.
-        // Broadcast to every live shard before draining any reply, so a
-        // downed shard cannot leave the others' per-key state
-        // half-consumed.
+        // Round 1: one reply channel per shard keeps the counts in shard
+        // order. Broadcast to every live shard before draining any
+        // reply, so a downed shard cannot leave the others' per-key
+        // state half-consumed.
         let mut first_error: Option<ServerError> = None;
         let mut replies = Vec::with_capacity(self.senders.len());
         for (s, tx) in self.senders.iter().enumerate() {
@@ -304,27 +341,109 @@ impl<T: Scalar> AggregatorService<T> {
                 }
             }
         }
-        let mut partials = Vec::with_capacity(replies.len());
+        // `counted[s]` = Some(per-column counts) iff shard s stashed a
+        // partial that round 2 must consume no matter what.
+        let mut counted: Vec<Option<Vec<usize>>> = Vec::with_capacity(replies.len());
         for (s, rx) in replies.into_iter().enumerate() {
-            let Some(rx) = rx else { continue };
+            let Some(rx) = rx else {
+                counted.push(None);
+                continue;
+            };
             match rx.recv() {
-                Ok(ShardReply::Partial(p)) => partials.push(p),
+                Ok(ShardReply::Counts(c)) => counted.push(Some(c)),
+                Ok(ShardReply::Partial(_)) => unreachable!("round 1 never ships a partial"),
                 Ok(ShardReply::Unknown) => {
                     first_error.get_or_insert_with(|| ServerError::UnknownKey(key.to_string()));
+                    counted.push(None);
                 }
                 Ok(ShardReply::Failed(e)) => {
                     first_error.get_or_insert(ServerError::Spkadd(e));
+                    counted.push(None);
                 }
                 Err(_) => {
                     first_error.get_or_insert(ServerError::ShardDown(s));
+                    counted.push(None);
                 }
             }
         }
         if let Some(e) = first_error {
+            // Failed finalize still consumes the key: collect and drop
+            // the stashed partials of the shards that did flush.
+            for (s, c) in counted.iter().enumerate() {
+                if c.is_some() {
+                    if let Some(rx) = self.collect_from(s, &key) {
+                        let _ = rx.recv();
+                    }
+                }
+            }
             return Err(e);
         }
-        let refs: Vec<&CscMatrix<T>> = partials.iter().collect();
-        Ok(CscMatrix::vstack(&refs)?)
+
+        // Exact global colptr: within each column, shard partials land in
+        // ascending shard order (their row ranges are disjoint and
+        // increasing), so counts interleave per column.
+        let ncols = self.shape.1;
+        let mut colptr = vec![0usize; ncols + 1];
+        for counts in counted.iter().flatten() {
+            debug_assert_eq!(counts.len(), ncols);
+            for (j, &c) in counts.iter().enumerate() {
+                colptr[j + 1] += c;
+            }
+        }
+        for j in 0..ncols {
+            colptr[j + 1] += colptr[j];
+        }
+        let nnz = colptr[ncols];
+        let mut rowidx = vec![0u32; nnz];
+        let mut values = vec![T::default(); nnz];
+        // Per-column write cursors; shard s's slice of column j starts
+        // where shard s-1's ended.
+        let mut cursor = colptr.clone();
+        cursor.pop();
+
+        // Round 2: stream the partials through, one shard at a time.
+        for s in 0..counted.len() {
+            let row_base = self.plan.range(s).start as u32;
+            let Some(rx) = self.collect_from(s, &key) else {
+                return Err(ServerError::ShardDown(s));
+            };
+            let partial = match rx.recv() {
+                Ok(ShardReply::Partial(p)) => p,
+                _ => return Err(ServerError::ShardDown(s)),
+            };
+            for (j, cur) in cursor.iter_mut().enumerate() {
+                let col = partial.col(j);
+                let dst = *cur;
+                let end = dst + col.rows.len();
+                for (slot, &r) in rowidx[dst..end].iter_mut().zip(col.rows) {
+                    *slot = r + row_base;
+                }
+                values[dst..end].copy_from_slice(col.vals);
+                *cur = end;
+            }
+            // `partial` drops here, before the next shard's arrives.
+        }
+        debug_assert!(cursor.iter().zip(&colptr[1..]).all(|(c, p)| c == p));
+        Ok(CscMatrix::from_parts(
+            self.shape.0,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        ))
+    }
+
+    /// Sends a round-2 `Collect` for `key` to shard `s`; `None` if the
+    /// shard is down.
+    fn collect_from(&self, s: usize, key: &Arc<str>) -> Option<Receiver<ShardReply<T>>> {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        self.senders[s]
+            .send(Msg::Collect {
+                key: Arc::clone(key),
+                reply: reply_tx,
+            })
+            .ok()?;
+        Some(reply_rx)
     }
 
     /// Current service counters.
@@ -360,7 +479,7 @@ impl<T: Scalar> AggregatorService<T> {
     }
 }
 
-impl<T: Scalar> Drop for AggregatorService<T> {
+impl<T: Element, O: Monoid<Value = T>> Drop for AggregatorService<T, O> {
     fn drop(&mut self) {
         for tx in &self.senders {
             let _ = tx.send(Msg::Shutdown);
@@ -372,34 +491,40 @@ impl<T: Scalar> Drop for AggregatorService<T> {
 }
 
 /// Per-key accumulation state inside one shard worker.
-struct KeyState<T: Scalar> {
-    acc: StreamingAccumulator<T>,
+struct KeyState<T: Element, O: Monoid<Value = T>> {
+    acc: StreamingAccumulator<T, O>,
     /// First reduction error, if any; reported at finalize. Later slices
     /// for the key are dropped once poisoned.
     error: Option<SpkaddError>,
 }
 
-fn shard_worker<T: Scalar>(
+#[allow(clippy::too_many_arguments)]
+fn shard_worker<T: Element, O: Monoid<Value = T>>(
     rx: Receiver<Msg<T>>,
     shard_rows: usize,
     ncols: usize,
     algorithm: Algorithm,
     policy: FlushPolicy,
     opts: Options,
+    monoid: O,
     counters: Arc<ShardCounters>,
 ) {
-    let mut keys: HashMap<Arc<str>, KeyState<T>> = HashMap::new();
+    let mut keys: HashMap<Arc<str>, KeyState<T, O>> = HashMap::new();
+    // Partials flushed by a round-1 `Finalize`, awaiting their round-2
+    // `Collect`.
+    let mut stash: HashMap<Arc<str>, CscMatrix<T>> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Slice { key, slab } => {
                 counters.slices.fetch_add(1, Ordering::Relaxed);
                 let state = keys.entry(key).or_insert_with(|| KeyState {
-                    acc: StreamingAccumulator::with_policy(
+                    acc: StreamingAccumulator::with_monoid(
                         shard_rows,
                         ncols,
                         policy,
                         algorithm,
                         opts.clone(),
+                        monoid,
                     ),
                     error: None,
                 });
@@ -425,10 +550,21 @@ fn shard_worker<T: Scalar>(
                             counters.batches_flushed.fetch_add(1, Ordering::Relaxed);
                         }
                         match acc.finish() {
-                            Ok(partial) => ShardReply::Partial(partial),
+                            Ok(partial) => {
+                                let counts = partial.col_nnz_counts();
+                                stash.insert(key, partial);
+                                ShardReply::Counts(counts)
+                            }
                             Err(e) => ShardReply::Failed(e),
                         }
                     }
+                };
+                let _ = reply.send(answer);
+            }
+            Msg::Collect { key, reply } => {
+                let answer = match stash.remove(&key) {
+                    Some(p) => ShardReply::Partial(p),
+                    None => ShardReply::Unknown,
                 };
                 let _ = reply.send(answer);
             }

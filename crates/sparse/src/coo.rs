@@ -7,7 +7,7 @@
 //! non-canonical inputs) while [`CooMatrix::to_csc_sum_duplicates`] merges
 //! them.
 
-use crate::{CscMatrix, Scalar, SparseError};
+use crate::{CscMatrix, Element, Scalar, SparseError};
 
 /// Sparse matrix as a list of `(row, col, value)` triplets.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,7 +19,7 @@ pub struct CooMatrix<T = f64> {
     vals: Vec<T>,
 }
 
-impl<T: Scalar> CooMatrix<T> {
+impl<T: Element> CooMatrix<T> {
     /// An empty `nrows × ncols` triplet list.
     pub fn new(nrows: usize, ncols: usize) -> Self {
         Self::with_capacity(nrows, ncols, 0)
@@ -140,13 +140,6 @@ impl<T: Scalar> CooMatrix<T> {
         m
     }
 
-    /// Converts to canonical CSC: sorted columns, duplicates summed.
-    pub fn to_csc_sum_duplicates(&self) -> CscMatrix<T> {
-        let mut m = self.to_csc();
-        m.canonicalize();
-        m
-    }
-
     /// Merges another triplet list into this one (shapes must match).
     pub fn extend_from(&mut self, other: &CooMatrix<T>) -> Result<(), SparseError> {
         if (other.nrows, other.ncols) != (self.nrows, self.ncols) {
@@ -160,6 +153,15 @@ impl<T: Scalar> CooMatrix<T> {
         self.cols.extend_from_slice(&other.cols);
         self.vals.extend_from_slice(&other.vals);
         Ok(())
+    }
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// Converts to canonical CSC: sorted columns, duplicates summed.
+    pub fn to_csc_sum_duplicates(&self) -> CscMatrix<T> {
+        let mut m = self.to_csc();
+        m.canonicalize();
+        m
     }
 }
 

@@ -4,7 +4,7 @@
 //! `j`-th columns of the `k` inputs are added independently, so the column
 //! is the natural unit of both storage and parallelism.
 
-use crate::{CooMatrix, CsrMatrix, Scalar, SparseError};
+use crate::{CooMatrix, CsrMatrix, Element, Scalar, SparseError};
 
 /// A borrowed view of one column: parallel slices of row indices and values.
 ///
@@ -17,7 +17,7 @@ pub struct ColView<'a, T> {
     pub vals: &'a [T],
 }
 
-impl<'a, T: Scalar> ColView<'a, T> {
+impl<'a, T: Element> ColView<'a, T> {
     /// Number of stored entries in the column.
     #[inline]
     pub fn nnz(&self) -> usize {
@@ -72,7 +72,7 @@ pub struct CscMatrix<T = f64> {
     values: Vec<T>,
 }
 
-impl<T: Scalar> CscMatrix<T> {
+impl<T: Element> CscMatrix<T> {
     /// Builds a matrix from raw CSC arrays, validating the structure.
     pub fn try_new(
         nrows: usize,
@@ -162,17 +162,6 @@ impl<T: Scalar> CscMatrix<T> {
         }
     }
 
-    /// The `n × n` identity.
-    pub fn identity(n: usize) -> Self {
-        Self {
-            nrows: n,
-            ncols: n,
-            colptr: (0..=n).collect(),
-            rowidx: (0..n as u32).collect(),
-            values: vec![T::one(); n],
-        }
-    }
-
     /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
@@ -238,34 +227,6 @@ impl<T: Scalar> CscMatrix<T> {
         }
     }
 
-    /// Value at `(i, j)`, or the additive identity when not stored.
-    ///
-    /// O(log nnz(col j)) for sorted columns, O(nnz(col j)) otherwise.
-    pub fn get(&self, i: usize, j: usize) -> Result<T, SparseError> {
-        if i >= self.nrows || j >= self.ncols {
-            return Err(SparseError::IndexOutOfBounds {
-                index: (i, j),
-                shape: self.shape(),
-            });
-        }
-        let col = self.col(j);
-        let target = i as u32;
-        // Fast path: binary search when the column happens to be sorted.
-        if col.rows.windows(2).all(|w| w[0] < w[1]) {
-            return Ok(match col.rows.binary_search(&target) {
-                Ok(pos) => col.vals[pos],
-                Err(_) => T::default(),
-            });
-        }
-        let mut acc = T::default();
-        for (r, v) in col.iter() {
-            if r == target {
-                acc += v;
-            }
-        }
-        Ok(acc)
-    }
-
     /// `true` when every column is strictly sorted by row index (which also
     /// implies no duplicate entries) — the canonical CSC form, and the input
     /// precondition of the 2-way and heap SpKAdd algorithms.
@@ -306,69 +267,11 @@ impl<T: Scalar> CscMatrix<T> {
         }
     }
 
-    /// Establishes canonical form: sorts each column and merges duplicate
-    /// row indices by summation. Explicit zeros are kept (the paper's
-    /// algorithms never drop them either; `nnz` means *stored* entries).
-    pub fn canonicalize(&mut self) {
-        self.sort_columns();
-        let mut write = 0usize;
-        let mut new_colptr = vec![0usize; self.ncols + 1];
-        let mut read = 0usize;
-        for (j, hi) in self.colptr[1..].iter().copied().enumerate() {
-            let col_start = write;
-            while read < hi {
-                let r = self.rowidx[read];
-                let mut v = self.values[read];
-                read += 1;
-                while read < hi && self.rowidx[read] == r {
-                    v += self.values[read];
-                    read += 1;
-                }
-                self.rowidx[write] = r;
-                self.values[write] = v;
-                write += 1;
-            }
-            new_colptr[j] = col_start;
-        }
-        new_colptr[self.ncols] = write;
-        debug_assert!(new_colptr.windows(2).all(|w| w[0] <= w[1]));
-        self.rowidx.truncate(write);
-        self.values.truncate(write);
-        self.colptr = new_colptr;
-    }
-
-    /// Drops stored entries whose value is exactly the additive identity.
-    pub fn prune_zeros(&mut self) {
-        let mut write = 0usize;
-        let mut new_colptr = vec![0usize; self.ncols + 1];
-        let mut read = 0usize;
-        for (j, hi) in self.colptr[1..].iter().copied().enumerate() {
-            new_colptr[j] = write;
-            while read < hi {
-                if !self.values[read].is_zero() {
-                    self.rowidx[write] = self.rowidx[read];
-                    self.values[write] = self.values[read];
-                    write += 1;
-                }
-                read += 1;
-            }
-        }
-        new_colptr[self.ncols] = write;
-        self.rowidx.truncate(write);
-        self.values.truncate(write);
-        self.colptr = new_colptr;
-    }
-
     /// Applies `f` to every stored value in place.
     pub fn map_values(&mut self, mut f: impl FnMut(T) -> T) {
         for v in &mut self.values {
             *v = f(*v);
         }
-    }
-
-    /// Multiplies every stored value by `s`.
-    pub fn scale(&mut self, s: T) {
-        self.map_values(|v| v * s);
     }
 
     /// Iterates all stored entries as `(row, col, value)` in column order.
@@ -598,6 +501,119 @@ impl<T: Scalar> CscMatrix<T> {
         Ok(CscMatrix::from_parts(nrows, ncols, colptr, rowidx, values))
     }
 
+    /// Deconstructs into the raw `(nrows, ncols, colptr, rowidx, values)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<u32>, Vec<T>) {
+        (
+            self.nrows,
+            self.ncols,
+            self.colptr,
+            self.rowidx,
+            self.values,
+        )
+    }
+}
+
+/// Operations that genuinely require arithmetic on the values — everything
+/// above needs only the structural [`Element`] contract, which is what lets
+/// the monoid-generic SpKAdd kernels run over e.g. `CscMatrix<bool>`.
+impl<T: Scalar> CscMatrix<T> {
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            nrows: n,
+            ncols: n,
+            colptr: (0..=n).collect(),
+            rowidx: (0..n as u32).collect(),
+            values: vec![T::one(); n],
+        }
+    }
+
+    /// Value at `(i, j)`, or the additive identity when not stored.
+    ///
+    /// O(log nnz(col j)) for sorted columns, O(nnz(col j)) otherwise.
+    pub fn get(&self, i: usize, j: usize) -> Result<T, SparseError> {
+        if i >= self.nrows || j >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: (i, j),
+                shape: self.shape(),
+            });
+        }
+        let col = self.col(j);
+        let target = i as u32;
+        // Fast path: binary search when the column happens to be sorted.
+        if col.rows.windows(2).all(|w| w[0] < w[1]) {
+            return Ok(match col.rows.binary_search(&target) {
+                Ok(pos) => col.vals[pos],
+                Err(_) => T::default(),
+            });
+        }
+        let mut acc = T::default();
+        for (r, v) in col.iter() {
+            if r == target {
+                acc += v;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Establishes canonical form: sorts each column and merges duplicate
+    /// row indices by summation. Explicit zeros are kept (the paper's
+    /// algorithms never drop them either; `nnz` means *stored* entries).
+    pub fn canonicalize(&mut self) {
+        self.sort_columns();
+        let mut write = 0usize;
+        let mut new_colptr = vec![0usize; self.ncols + 1];
+        let mut read = 0usize;
+        for (j, hi) in self.colptr[1..].iter().copied().enumerate() {
+            let col_start = write;
+            while read < hi {
+                let r = self.rowidx[read];
+                let mut v = self.values[read];
+                read += 1;
+                while read < hi && self.rowidx[read] == r {
+                    v += self.values[read];
+                    read += 1;
+                }
+                self.rowidx[write] = r;
+                self.values[write] = v;
+                write += 1;
+            }
+            new_colptr[j] = col_start;
+        }
+        new_colptr[self.ncols] = write;
+        debug_assert!(new_colptr.windows(2).all(|w| w[0] <= w[1]));
+        self.rowidx.truncate(write);
+        self.values.truncate(write);
+        self.colptr = new_colptr;
+    }
+
+    /// Drops stored entries whose value is exactly the additive identity.
+    pub fn prune_zeros(&mut self) {
+        let mut write = 0usize;
+        let mut new_colptr = vec![0usize; self.ncols + 1];
+        let mut read = 0usize;
+        for (j, hi) in self.colptr[1..].iter().copied().enumerate() {
+            new_colptr[j] = write;
+            while read < hi {
+                if !self.values[read].is_zero() {
+                    self.rowidx[write] = self.rowidx[read];
+                    self.values[write] = self.values[read];
+                    write += 1;
+                }
+                read += 1;
+            }
+        }
+        new_colptr[self.ncols] = write;
+        self.rowidx.truncate(write);
+        self.values.truncate(write);
+        self.colptr = new_colptr;
+    }
+
+    /// Multiplies every stored value by `s`.
+    pub fn scale(&mut self, s: T) {
+        self.map_values(|v| v * s);
+    }
+
     /// Sum of all stored values, as `f64`.
     pub fn value_sum(&self) -> f64 {
         self.values.iter().map(|v| v.to_f64()).sum()
@@ -654,17 +670,6 @@ impl<T: Scalar> CscMatrix<T> {
         self.rowidx.truncate(write);
         self.values.truncate(write);
         self.colptr = new_colptr;
-    }
-
-    /// Deconstructs into the raw `(nrows, ncols, colptr, rowidx, values)`.
-    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<u32>, Vec<T>) {
-        (
-            self.nrows,
-            self.ncols,
-            self.colptr,
-            self.rowidx,
-            self.values,
-        )
     }
 }
 

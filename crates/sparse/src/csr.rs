@@ -5,7 +5,7 @@
 //! and columns; this container exists so downstream systems (and tests) can
 //! exercise that claim via cheap re-interpretation.
 
-use crate::{CooMatrix, CscMatrix, Scalar, SparseError};
+use crate::{CooMatrix, CscMatrix, Element, SparseError};
 
 /// Sparse matrix in compressed sparse row format.
 ///
@@ -20,7 +20,7 @@ pub struct CsrMatrix<T = f64> {
     values: Vec<T>,
 }
 
-impl<T: Scalar> CsrMatrix<T> {
+impl<T: Element> CsrMatrix<T> {
     /// Builds a matrix from raw CSR arrays, validating the structure.
     pub fn try_new(
         nrows: usize,

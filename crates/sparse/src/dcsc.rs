@@ -9,7 +9,7 @@
 //! substrate's answer for that regime; `to_csc`/`from_csc` bridge to the
 //! SpKAdd kernels.
 
-use crate::{CscMatrix, Scalar, SparseError};
+use crate::{CscMatrix, Element, SparseError};
 
 /// Sparse matrix storing only non-empty columns.
 ///
@@ -25,7 +25,7 @@ pub struct DcscMatrix<T = f64> {
     values: Vec<T>,
 }
 
-impl<T: Scalar> DcscMatrix<T> {
+impl<T: Element> DcscMatrix<T> {
     /// Builds from raw DCSC arrays, validating the structure.
     pub fn try_new(
         nrows: usize,

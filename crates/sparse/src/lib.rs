@@ -36,25 +36,40 @@ pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use stats::{CollectionStats, DegreeStats};
 
+/// Storage element trait for matrix values.
+///
+/// The *structural* requirements only: copyable, has a fill value
+/// (`Default`), comparable for canonical-form checks, printable, and able
+/// to cross thread boundaries. Every container operation (slicing,
+/// transposing, sorting, splitting, stacking) and every monoid-generic
+/// reduction kernel needs exactly this much — arithmetic lives in the
+/// [`Scalar`] subtrait. Notably `bool` is an `Element`, which is what lets
+/// the same SpKAdd kernels compute boolean graph unions.
+pub trait Element:
+    Copy + Default + PartialEq + std::fmt::Debug + std::fmt::Display + Send + Sync + 'static
+{
+}
+
+impl<T> Element for T where
+    T: Copy + Default + PartialEq + std::fmt::Debug + std::fmt::Display + Send + Sync + 'static
+{
+}
+
 /// Numeric element trait for matrix values.
 ///
-/// Everything the SpKAdd kernels need: copyable, has an additive identity
-/// (`Default`), supports `+`/`+=`/`*`, and can cross thread boundaries.
-/// Implemented for the standard float and integer types.
+/// Everything the classical (additive) SpKAdd kernels need on top of
+/// [`Element`]: an additive identity, `+`/`+=`/`-`/`*`, and numeric
+/// bridges. Implemented for the standard float and integer types.
 pub trait Scalar:
-    Copy
-    + Default
-    + PartialEq
-    + std::fmt::Debug
-    + std::fmt::Display
+    Element
     + std::ops::Add<Output = Self>
     + std::ops::AddAssign
     + std::ops::Sub<Output = Self>
     + std::ops::Mul<Output = Self>
-    + Send
-    + Sync
-    + 'static
 {
+    /// The additive identity, as a `const` (usable in associated consts
+    /// of generic impls, unlike `Default::default()`).
+    const ZERO: Self;
     /// `true` if the value equals the additive identity.
     #[inline]
     fn is_zero(&self) -> bool {
@@ -69,6 +84,7 @@ pub trait Scalar:
 macro_rules! impl_scalar {
     ($($t:ty),*) => {$(
         impl Scalar for $t {
+            const ZERO: Self = 0 as $t;
             #[inline]
             fn one() -> Self { 1 as $t }
             #[inline]
@@ -84,7 +100,7 @@ pub type Shape = (usize, usize);
 /// Checks that all matrices in a collection share one shape.
 ///
 /// This is the first validation step of every k-way SpKAdd entry point.
-pub fn common_shape<T: Scalar>(mats: &[&CscMatrix<T>]) -> Result<Shape, SparseError> {
+pub fn common_shape<T: Element>(mats: &[&CscMatrix<T>]) -> Result<Shape, SparseError> {
     let first = mats.first().ok_or(SparseError::EmptyCollection)?;
     let shape = (first.nrows(), first.ncols());
     for (i, m) in mats.iter().enumerate().skip(1) {

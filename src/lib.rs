@@ -32,3 +32,11 @@ pub use spkadd::{SpkAdd, SpkAddPlan};
 /// with an explicitly chosen algorithm ([`Algorithm::Auto`] picks with
 /// the paper's Fig 2 heuristics).
 pub use spkadd::{spkadd_auto, spkadd_with, Algorithm, Options};
+
+/// Monoid-generic reduction: the same SpKAdd machinery folding under
+/// any associative combine — `Or` for structural unions, `Min`/
+/// [`MaxPlus`] for tropical semirings, [`ThresholdedPlus`] for filtered
+/// merges. [`spkadd_with`] is [`spkadd_with_monoid`] with [`Plus`].
+pub use spkadd::{
+    spkadd_with_monoid, MaxPlus, Min, Monoid, Or, Plus, SaturatingCount, ThresholdedPlus,
+};
