@@ -1,0 +1,328 @@
+//! Pattern-cache benchmark: cold (symbolic + numeric) vs warm
+//! (fingerprint + numeric-only) execution over fixed-sparsity
+//! collections — the FEM-assembly / gradient-aggregation repeat workload
+//! the cache targets.
+//!
+//! Three groups:
+//! * `plan` — a retained `SpkAddPlan` re-executing one collection, per
+//!   k-way algorithm family, cache off vs on;
+//! * `stream` — `StreamingAccumulator` flush rounds over a repeating
+//!   batch structure, cache off vs on;
+//! * `server` — an `AggregatorService` key aggregating a steady stream
+//!   (several flushes per key), cache off vs on. End-to-end this path
+//!   is dominated by submit-side slicing and worker handoff (especially
+//!   on a single-core runner), so expect the warm win to be small here —
+//!   the group's value is confirming the per-key caches hit (asserted
+//!   on the shard metrics) without regressing throughput. The
+//!   flush-level win itself is what `plan` and `stream` isolate.
+//!
+//! Emits a human table on stdout plus machine-readable JSON (config +
+//! per-result phase timings and throughput, SNIPPETS.md report idiom) to
+//! `--out` (default `BENCH_pattern_cache.json`, the checked-in baseline
+//! path).
+//!
+//! Usage: `cargo bench -p spk_bench --bench pattern_cache --
+//! [--rows R] [--cols C] [--d D] [--k K] [--reps N] [--out FILE]`
+
+use spk_bench::{print_table, refs, Args};
+use spk_gen::{generate_collection, Pattern};
+use spk_server::{AggregatorService, ServiceConfig};
+use spk_sparse::CscMatrix;
+use spkadd::{
+    Algorithm, ExecuteStats, FlushPolicy, Options, PatternOutcome, SpkAdd, StreamingAccumulator,
+};
+
+/// One benchmark row: a (group, case, mode) cell with its phase split.
+struct Row {
+    group: &'static str,
+    case: String,
+    mode: &'static str,
+    secs: f64,
+    stats: Option<ExecuteStats>,
+    throughput: f64,
+    unit: &'static str,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_json(path: &str, cfg: &[(&str, String)], rows: &[Row]) {
+    let mut out = String::from("{\n  \"bench\": \"pattern_cache\",\n  \"config\": {");
+    for (i, (k, v)) in cfg.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{k}\": {v}"));
+    }
+    out.push_str("},\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let phases = match &r.stats {
+            Some(s) => format!(
+                ", \"symbolic_secs\": {:.6}, \"numeric_secs\": {:.6}, \
+                 \"fingerprint_secs\": {:.6}, \"symbolic_skipped\": {}",
+                s.symbolic, s.numeric, s.fingerprint, s.symbolic_skipped
+            ),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"case\": \"{}\", \"mode\": \"{}\", \
+             \"secs\": {:.6}{phases}, \"throughput\": {:.1}, \"unit\": \"{}\"}}{}\n",
+            r.group,
+            json_escape(&r.case),
+            r.mode,
+            r.secs,
+            r.throughput,
+            r.unit,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("writing benchmark JSON failed");
+    eprintln!("wrote {path}");
+}
+
+/// Rescales every value — new numerics, identical sparsity, so warm
+/// passes never degenerate into adding the exact same floats.
+fn rescale(mats: &mut [CscMatrix<f64>], f: f64) {
+    for m in mats {
+        for v in m.values_mut() {
+            *v *= f;
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let m = args.get("rows", 1 << 14);
+    let n = args.get("cols", 48usize);
+    let d = args.get("d", 8usize);
+    let k = args.get("k", 32usize);
+    let reps = args.get("reps", 5usize).max(1);
+    let out_path = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_pattern_cache.json".to_string());
+
+    let mut mats = generate_collection(Pattern::Rmat, m, n, d, k, 42);
+    for mat in &mut mats {
+        mat.sort_columns();
+    }
+    let total_nnz: usize = mats.iter().map(|a| a.nnz()).sum();
+    println!(
+        "pattern_cache bench: rows={m}, cols={n}, d={d}, k={k}, reps={reps}, \
+         total input nnz {total_nnz}"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- plan group: cold vs warm per algorithm family -----------------
+    for alg in [
+        Algorithm::Hash,
+        Algorithm::SlidingHash,
+        Algorithm::Spa,
+        Algorithm::SlidingSpa,
+        Algorithm::Heap,
+    ] {
+        let case = format!("{alg}");
+        for (mode, capacity) in [("cold", 0usize), ("warm", 2usize)] {
+            let mut plan = SpkAdd::new(m, n)
+                .algorithm(alg)
+                .pattern_cache(capacity)
+                .build::<f64>()
+                .expect("plan build failed");
+            let mut sum = CscMatrix::zeros(m, n);
+            // Prime: warms workspaces for both modes and, with a cache,
+            // inserts the pattern so the timed passes all hit.
+            let mut stats = plan
+                .execute_into_timed(&refs(&mats), &mut sum)
+                .expect("prime failed");
+            let mut best = f64::INFINITY;
+            let mut best_stats = stats;
+            for _ in 0..reps {
+                rescale(&mut mats, 1.0 + 1.0 / 64.0);
+                let mrefs = refs(&mats);
+                let t = std::time::Instant::now();
+                stats = plan
+                    .execute_into_timed(&mrefs, &mut sum)
+                    .expect("execute failed");
+                let secs = t.elapsed().as_secs_f64();
+                if secs < best {
+                    best = secs;
+                    best_stats = stats;
+                }
+            }
+            match mode {
+                "warm" => assert!(
+                    stats.pattern == PatternOutcome::Hit && stats.symbolic_skipped,
+                    "warm pass must hit the cache ({alg}: {:?})",
+                    stats.pattern
+                ),
+                _ => assert!(!stats.symbolic_skipped),
+            }
+            rows.push(Row {
+                group: "plan",
+                case: case.clone(),
+                mode,
+                secs: best,
+                stats: Some(best_stats),
+                throughput: total_nnz as f64 / best,
+                unit: "input_nnz_per_s",
+            });
+        }
+    }
+
+    // --- stream group: repeated flush rounds ---------------------------
+    const ROUNDS: usize = 6;
+    for (mode, capacity) in [("cold", 0usize), ("warm", 4usize)] {
+        let mut opts = Options::default();
+        opts.pattern_cache = capacity;
+        let mut acc = StreamingAccumulator::<f64>::with_policy(
+            m,
+            n,
+            FlushPolicy::Matrices(k),
+            Algorithm::Hash,
+            opts,
+        );
+        // Prime round: first flushes miss even with a cache (the running
+        // total joins the collection and stabilizes the pattern).
+        for mat in &mats {
+            acc.push(mat.clone()).expect("push failed");
+        }
+        acc.flush().expect("flush failed");
+        let t = std::time::Instant::now();
+        for _ in 0..ROUNDS {
+            rescale(&mut mats, 1.0 + 1.0 / 64.0);
+            for mat in &mats {
+                acc.push(mat.clone()).expect("push failed");
+            }
+            acc.flush().expect("flush failed");
+        }
+        let secs = t.elapsed().as_secs_f64() / ROUNDS as f64;
+        if let Some(stats) = acc.pattern_stats() {
+            assert!(
+                stats.hits >= ROUNDS as u64,
+                "steady-state stream flushes must hit ({} hits / {} misses)",
+                stats.hits,
+                stats.misses
+            );
+        }
+        let nnz = acc.finish().expect("finish failed").nnz();
+        assert!(nnz > 0);
+        rows.push(Row {
+            group: "stream",
+            case: format!("flush_k{k}"),
+            mode,
+            secs,
+            stats: None,
+            throughput: total_nnz as f64 / secs,
+            unit: "input_nnz_per_s",
+        });
+    }
+
+    // --- server group: steady per-key stream, several flushes ----------
+    const STREAM_LEN: usize = 64;
+    const BATCH: usize = 8;
+    // Denser than the plan-group collection so the per-flush reduction
+    // (where the cache acts) dominates the submit/slicing overhead.
+    let server_base = {
+        let mut mat = generate_collection(Pattern::Rmat, m, n, 4 * d, 1, 7).remove(0);
+        mat.sort_columns();
+        mat
+    };
+    for (mode, capacity) in [("cold", 0usize), ("warm", 2usize)] {
+        let svc: AggregatorService<f64> = AggregatorService::new(
+            m,
+            n,
+            ServiceConfig::with_shards(1)
+                .with_flush(FlushPolicy::Matrices(BATCH))
+                .with_pattern_cache(capacity),
+        );
+        // A steady stream repeats one sparsity with fresh values (a
+        // fixed sensor/model emitting every tick), so each flushed batch
+        // after the first presents the same pattern to the shard's plan.
+        let stream: Vec<CscMatrix<f64>> = (0..STREAM_LEN)
+            .map(|i| {
+                let mut mat = server_base.clone();
+                rescale(std::slice::from_mut(&mut mat), 1.0 + i as f64 / 64.0);
+                mat
+            })
+            .collect();
+        let mut best = f64::INFINITY;
+        for rep in 0..reps {
+            let key = format!("{mode}-{rep}");
+            let t = std::time::Instant::now();
+            for mat in &stream {
+                svc.submit(&key, mat).expect("submit failed");
+            }
+            let sum = svc.finalize(&key).expect("finalize failed");
+            best = best.min(t.elapsed().as_secs_f64());
+            assert!(sum.nnz() > 0);
+        }
+        let metrics = svc.metrics();
+        if capacity > 0 {
+            assert!(
+                metrics.pattern_hits() > metrics.pattern_misses(),
+                "steady server streams should mostly hit ({} hits / {} misses)",
+                metrics.pattern_hits(),
+                metrics.pattern_misses()
+            );
+        }
+        rows.push(Row {
+            group: "server",
+            case: format!("stream{STREAM_LEN}_batch{BATCH}"),
+            mode,
+            secs: best,
+            stats: None,
+            throughput: STREAM_LEN as f64 / best,
+            unit: "matrices_per_s",
+        });
+    }
+
+    // --- report --------------------------------------------------------
+    let mut table = vec![vec![
+        "group".to_string(),
+        "case".to_string(),
+        "mode".to_string(),
+        "time (ms)".to_string(),
+        "symbolic (ms)".to_string(),
+        "throughput".to_string(),
+    ]];
+    for r in &rows {
+        let symbolic = match &r.stats {
+            Some(s) if s.symbolic_skipped => "skipped (hit)".to_string(),
+            Some(s) => format!("{:.3}", s.symbolic * 1e3),
+            None => "-".to_string(),
+        };
+        table.push(vec![
+            r.group.to_string(),
+            r.case.clone(),
+            r.mode.to_string(),
+            format!("{:.3}", r.secs * 1e3),
+            symbolic,
+            format!("{:.0} {}", r.throughput, r.unit),
+        ]);
+    }
+    print_table(&table);
+    for pair in rows.chunks(2) {
+        if let [cold, warm] = pair {
+            println!(
+                "{}/{}: warm is {:.2}x cold",
+                cold.group,
+                cold.case,
+                cold.secs / warm.secs
+            );
+        }
+    }
+
+    let cfg = [
+        ("rows", m.to_string()),
+        ("cols", n.to_string()),
+        ("nnz_per_col", d.to_string()),
+        ("k", k.to_string()),
+        ("reps", reps.to_string()),
+        ("total_input_nnz", total_nnz.to_string()),
+    ];
+    emit_json(&out_path, &cfg, &rows);
+}

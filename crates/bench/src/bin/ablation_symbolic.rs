@@ -67,7 +67,7 @@ fn main() {
                 .build::<f64>()
                 .expect("plan build failed");
             // Best of three to damp scheduler noise.
-            let mut best: Option<(spk_sparse::CscMatrix<f64>, spkadd::PhaseTimings)> = None;
+            let mut best: Option<(spk_sparse::CscMatrix<f64>, spkadd::ExecuteStats)> = None;
             for _ in 0..3 {
                 let (out, timings) = plan.execute_timed(&mrefs).expect("spkadd failed");
                 if best

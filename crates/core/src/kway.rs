@@ -9,10 +9,14 @@
 //! [`WorkspacePool`]** — a plan executed repeatedly reuses its tables,
 //! SPA panels, and heap buffers instead of reallocating them per call.
 
-use crate::kernels::{hash_add_column_with, heap_add_column_with, spa_add_column_with};
+use crate::kernels::{
+    hash_add_column_with, hash_numeric_only_column, heap_add_column_with, spa_add_column_with,
+    spa_numeric_only_column,
+};
 use crate::mem::NullModel;
 use crate::monoid::Monoid;
 use crate::parallel::{exclusive_prefix_sum, exclusive_prefix_sum_into, plan_ranges, split_output};
+use crate::pattern::Pattern;
 use crate::sliding::sliding_add_column_with;
 use crate::spa::sliding_spa_add_column_with;
 use crate::symbolic::DriverCtx;
@@ -194,6 +198,132 @@ pub(crate) fn kway_numeric<T: Element, O: Monoid<Value = T>>(
     } else {
         compact(m, n, &colptr, &actual, rowidx, values)
     }
+}
+
+/// Numeric-only driver for a pattern-cache hit: the output structure is
+/// already known, so the symbolic phase is skipped entirely — the cached
+/// `colptr`/`rowidx` are copied into the (recycled) output buffers and
+/// only values are computed. The hash and SPA kernels additionally skip
+/// their per-column output sort via [`HashAccumulator::gather_reset`] /
+/// [`Spa::gather_reset`] (the row order is the cached one); the heap and
+/// sliding kernels run their normal numeric pass into the exact
+/// per-column windows, overwriting the pre-copied rows with identical
+/// values.
+///
+/// Only reached for non-filtering monoids (a filtering monoid's output
+/// structure is value-dependent, so the plan layer bypasses the cache),
+/// which also means every cached count is exact — no compaction pass.
+///
+/// [`HashAccumulator::gather_reset`]: crate::hashtab::HashAccumulator::gather_reset
+/// [`Spa::gather_reset`]: crate::spa::Spa::gather_reset
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn kway_numeric_cached<T: Element, O: Monoid<Value = T>>(
+    mats: &[&CscMatrix<T>],
+    pattern: &Pattern,
+    kernel: NumericKernel,
+    monoid: O,
+    ctx: &DriverCtx,
+    pool: &WorkspacePool<T>,
+    recycle: RecycledBufs<T>,
+) -> CscMatrix<T> {
+    debug_assert!(!O::MAY_FILTER, "filtering monoids must bypass the cache");
+    let n = mats[0].ncols();
+    let m = mats[0].nrows();
+    let k = mats.len();
+    debug_assert_eq!(pattern.colptr.len(), n + 1);
+
+    let RecycledBufs {
+        mut colptr,
+        rows: mut rowidx,
+        vals: mut values,
+    } = recycle;
+    colptr.clear();
+    colptr.extend_from_slice(&pattern.colptr);
+    let nnz = *colptr.last().unwrap();
+    rowidx.clear();
+    rowidx.extend_from_slice(&pattern.rowidx);
+    values.clear();
+    values.resize(nnz, T::default());
+
+    let counts: Vec<usize> = colptr.windows(2).map(|w| w[1] - w[0]).collect();
+    let ranges = plan_ranges(&counts, 0, ctx.sched);
+    let chunks = split_output(&colptr, &ranges, &mut rowidx, &mut values);
+
+    chunks.into_par_iter().for_each(|chunk| {
+        let mut views: Vec<ColView<'_, T>> = Vec::with_capacity(k);
+        let mut mem = NullModel;
+        let mut ws = pool.for_current_thread();
+        for j in chunk.cols.clone() {
+            views.clear();
+            views.extend(mats.iter().map(|a| a.col(j)));
+            let lo = colptr[j] - chunk.base;
+            let hi = colptr[j + 1] - chunk.base;
+            let out_rows = &mut chunk.rows[lo..hi];
+            let out_vals = &mut chunk.vals[lo..hi];
+            match kernel {
+                NumericKernel::Hash => {
+                    let ht = ws.hash();
+                    ht.reserve_for(hi - lo);
+                    hash_numeric_only_column(&views, ht, out_rows, out_vals, monoid, &mut mem);
+                }
+                NumericKernel::Spa => {
+                    spa_numeric_only_column(&views, ws.spa(m), out_rows, out_vals, monoid, &mut mem)
+                }
+                // The sliding and heap kernels emit rows themselves; with
+                // exact cached counts they rewrite the pre-copied rows
+                // with the same content, so only the symbolic skip (the
+                // full-input sweep) is saved for these families.
+                NumericKernel::SlidingHash => {
+                    let (ht, scratch) = ws.hash_and_scratch();
+                    let written = sliding_add_column_with(
+                        &views,
+                        m,
+                        ctx.budget_add,
+                        hi - lo,
+                        ht,
+                        out_rows,
+                        out_vals,
+                        ctx.sorted_output,
+                        ctx.inputs_sorted,
+                        monoid,
+                        scratch,
+                        &mut mem,
+                    );
+                    debug_assert_eq!(written, hi - lo, "cached count mismatch");
+                }
+                NumericKernel::SlidingSpa => {
+                    let (spa, scratch) = ws.spa_and_scratch(m.min(ctx.budget_add.max(1)));
+                    let written = sliding_spa_add_column_with(
+                        &views,
+                        m,
+                        ctx.budget_add,
+                        spa,
+                        out_rows,
+                        out_vals,
+                        ctx.sorted_output,
+                        ctx.inputs_sorted,
+                        monoid,
+                        scratch,
+                        &mut mem,
+                    );
+                    debug_assert_eq!(written, hi - lo, "cached count mismatch");
+                }
+                NumericKernel::Heap => {
+                    let written = heap_add_column_with(
+                        &views,
+                        ws.heap(k),
+                        out_rows,
+                        out_vals,
+                        monoid,
+                        &mut mem,
+                    );
+                    debug_assert_eq!(written, hi - lo, "cached count mismatch");
+                }
+            }
+        }
+    });
+
+    CscMatrix::from_parts(m, n, colptr, rowidx, values)
 }
 
 /// Squeezes out the per-column slack left by an upper-bound allocation.

@@ -76,6 +76,7 @@ pub mod mem;
 pub mod metered;
 pub mod monoid;
 pub mod parallel;
+pub mod pattern;
 pub mod plan;
 pub mod rowwise;
 pub mod sliding;
@@ -91,6 +92,7 @@ pub use error::SpkaddError;
 pub use mem::{CountingModel, MemModel, NullModel};
 pub use monoid::{MaxPlus, Min, Monoid, Or, Plus, SaturatingCount, ThresholdedPlus};
 pub use parallel::Scheduling;
+pub use pattern::{PatternCacheStats, PatternFingerprint, PatternOutcome};
 pub use plan::{SpkAdd, SpkAddPlan};
 pub use rowwise::spkadd_csr;
 pub use streaming::{FlushPolicy, StreamingAccumulator};
@@ -274,6 +276,13 @@ pub struct Options {
     /// Check input sortedness up front and fail fast for algorithms that
     /// require it. Disable only when the caller guarantees sortedness.
     pub validate_sorted: bool,
+    /// Capacity of the plan's pattern cache (LRU over collection
+    /// structure fingerprints); `0` disables caching. When a collection
+    /// with previously-seen sparsity is executed, the symbolic phase is
+    /// skipped and a numeric-only kernel scatters values into the cached
+    /// output structure — see [`pattern`] and
+    /// [`SpkAdd::pattern_cache`](plan::SpkAdd::pattern_cache).
+    pub pattern_cache: usize,
 }
 
 impl Default for Options {
@@ -286,6 +295,7 @@ impl Default for Options {
             cache: CacheConfig::detect(),
             forced_table_entries: None,
             validate_sorted: true,
+            pattern_cache: 0,
         }
     }
 }
@@ -349,21 +359,37 @@ pub fn numeric_entry_bytes<T: Element>() -> usize {
 /// Symbolic-phase entry size: row index only (the paper's 4 bytes).
 pub const SYMBOLIC_ENTRY_BYTES: usize = 4;
 
-/// Wall-clock split between the two phases of a k-way SpKAdd
-/// (the series of Fig 4). For the 2-way and library algorithms, which
-/// have no symbolic phase, `symbolic` is zero.
+/// Per-execution statistics: the wall-clock split between the two phases
+/// of a k-way SpKAdd (the series of Fig 4) plus the pattern-cache
+/// outcome.
+///
+/// `symbolic == 0.0` alone is ambiguous — the 2-way and library
+/// algorithms have no symbolic phase at all — so a *skipped* (not merely
+/// trivial) phase is reported explicitly via
+/// [`ExecuteStats::symbolic_skipped`], and [`ExecuteStats::pattern`]
+/// says why.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct PhaseTimings {
-    /// Seconds spent computing per-column output sizes (§II-D).
+pub struct ExecuteStats {
+    /// Seconds spent computing per-column output sizes (§II-D); zero when
+    /// the phase was skipped (cache hit) or the algorithm has none.
     pub symbolic: f64,
     /// Seconds spent in the numeric addition phase.
     pub numeric: f64,
+    /// Seconds of pattern-cache overhead: fingerprinting the inputs and,
+    /// on a miss, capturing the output structure for next time. Zero when
+    /// the cache is disabled or bypassed.
+    pub fingerprint: f64,
+    /// `true` iff the symbolic phase was skipped outright because the
+    /// collection's structure was found in the plan's pattern cache.
+    pub symbolic_skipped: bool,
+    /// How this execution interacted with the pattern cache.
+    pub pattern: PatternOutcome,
 }
 
-impl PhaseTimings {
-    /// Total seconds across both phases.
+impl ExecuteStats {
+    /// Total seconds across both phases and the cache overhead.
     pub fn total(&self) -> f64 {
-        self.symbolic + self.numeric
+        self.symbolic + self.numeric + self.fingerprint
     }
 }
 
@@ -394,7 +420,7 @@ pub fn spkadd_with_timings<T: Scalar>(
     mats: &[&CscMatrix<T>],
     alg: Algorithm,
     opts: &Options,
-) -> Result<(CscMatrix<T>, PhaseTimings), SpkaddError> {
+) -> Result<(CscMatrix<T>, ExecuteStats), SpkaddError> {
     let (nrows, ncols) = common_shape(mats)?;
     let mut plan = SpkAdd::new(nrows, ncols)
         .algorithm(alg)

@@ -28,18 +28,22 @@
 //! assert_eq!(plan.executions(), 3);
 //! ```
 
-use crate::kway::{kway_numeric, NumericKernel, RecycledBufs};
+use crate::kway::{kway_numeric, kway_numeric_cached, NumericKernel, RecycledBufs};
 use crate::monoid::{Monoid, Plus};
 use crate::parallel::Scheduling;
+use crate::pattern::{
+    Pattern, PatternCache, PatternCacheStats, PatternFingerprint, PatternOutcome,
+};
 use crate::sliding::budget_entries;
 use crate::symbolic::{symbolic_counts, DriverCtx, SymbolicStrategy};
 use crate::tuning::{choose_algorithm, CacheConfig};
 use crate::workspace::WorkspacePool;
 use crate::{
-    libstyle, numeric_entry_bytes, twoway, Algorithm, Options, PhaseTimings, SpkaddError,
+    libstyle, numeric_entry_bytes, twoway, Algorithm, ExecuteStats, Options, SpkaddError,
     SYMBOLIC_ENTRY_BYTES,
 };
 use spk_sparse::{common_shape, CscMatrix, Element, Scalar, SparseError};
+use std::sync::Arc;
 
 /// Builder for a [`SpkAddPlan`]: fixes the output shape, algorithm, and
 /// execution options up front so the plan can resolve budgets and size
@@ -114,6 +118,19 @@ impl SpkAdd {
         self
     }
 
+    /// Retains up to `capacity` output structures keyed by input-pattern
+    /// fingerprint (bounded LRU; `0` disables, the default). When an
+    /// executed collection's sparsity matches a cached pattern, the
+    /// symbolic phase is skipped entirely and a numeric-only kernel
+    /// scatters values into the known structure — the steady-state win
+    /// for fixed-sparsity workloads (FEM assembly on a fixed mesh,
+    /// gradient aggregation over a fixed model). Filtering monoids
+    /// bypass the cache automatically; see [`crate::pattern`].
+    pub fn pattern_cache(mut self, capacity: usize) -> Self {
+        self.opts.pattern_cache = capacity;
+        self
+    }
+
     /// Replaces the whole option set (for callers that already hold an
     /// [`Options`]).
     pub fn options(mut self, opts: Options) -> Self {
@@ -170,6 +187,10 @@ impl SpkAdd {
                     })?,
             )
         };
+        let cache = match self.opts.pattern_cache {
+            0 => None,
+            cap => Some(PatternCache::new(cap)),
+        };
         Ok(SpkAddPlan {
             shape: (self.nrows, self.ncols),
             algorithm: self.algorithm,
@@ -178,6 +199,7 @@ impl SpkAdd {
             workers,
             budget_sym,
             budget_add,
+            cache,
             pool: WorkspacePool::new(workers),
             thread_pool,
             executions: 0,
@@ -206,6 +228,8 @@ pub struct SpkAddPlan<T: Element, O: Monoid<Value = T> = Plus<T>> {
     /// Dedicated rayon pool when `threads > 0`; `None` uses the ambient
     /// pool. Retained so repeat executions don't respawn workers.
     thread_pool: Option<rayon::ThreadPool>,
+    /// Pattern-keyed symbolic cache (`None` when `pattern_cache == 0`).
+    cache: Option<PatternCache>,
     executions: u64,
 }
 
@@ -247,17 +271,23 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
         self.pool.allocations()
     }
 
+    /// Pattern-cache counters (`None` when the plan was built without
+    /// [`SpkAdd::pattern_cache`]).
+    pub fn pattern_stats(&self) -> Option<PatternCacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
     /// Adds the collection, returning a fresh output matrix.
     pub fn execute(&mut self, mats: &[&CscMatrix<T>]) -> Result<CscMatrix<T>, SpkaddError> {
         self.run(mats, RecycledBufs::default()).map(|(out, _)| out)
     }
 
     /// Like [`SpkAddPlan::execute`], also reporting the symbolic/numeric
-    /// phase split (the series of Fig 4).
+    /// phase split (the series of Fig 4) and the pattern-cache outcome.
     pub fn execute_timed(
         &mut self,
         mats: &[&CscMatrix<T>],
-    ) -> Result<(CscMatrix<T>, PhaseTimings), SpkaddError> {
+    ) -> Result<(CscMatrix<T>, ExecuteStats), SpkaddError> {
         self.run(mats, RecycledBufs::default())
     }
 
@@ -273,10 +303,21 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
         mats: &[&CscMatrix<T>],
         sink: &mut CscMatrix<T>,
     ) -> Result<(), SpkaddError> {
+        self.execute_into_timed(mats, sink).map(|_| ())
+    }
+
+    /// [`SpkAddPlan::execute_into`] with the [`ExecuteStats`] report —
+    /// the full steady-state combination: recycled output buffers *and*
+    /// (with a pattern cache) a skipped symbolic phase.
+    pub fn execute_into_timed(
+        &mut self,
+        mats: &[&CscMatrix<T>],
+        sink: &mut CscMatrix<T>,
+    ) -> Result<ExecuteStats, SpkaddError> {
         let recycled = std::mem::replace(sink, CscMatrix::zeros(0, 0));
-        let (out, _) = self.run(mats, RecycledBufs::from_matrix(recycled))?;
+        let (out, stats) = self.run(mats, RecycledBufs::from_matrix(recycled))?;
         *sink = out;
-        Ok(())
+        Ok(stats)
     }
 
     /// Resolves [`Algorithm::Auto`] against this collection (Fig 2).
@@ -343,7 +384,7 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
         &mut self,
         mats: &[&CscMatrix<T>],
         recycle: RecycledBufs<T>,
-    ) -> Result<(CscMatrix<T>, PhaseTimings), SpkaddError> {
+    ) -> Result<(CscMatrix<T>, ExecuteStats), SpkaddError> {
         let shape = common_shape(mats)?;
         if shape != self.shape {
             return Err(SpkaddError::Sparse(SparseError::DimensionMismatch {
@@ -359,6 +400,43 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
             Algorithm::Auto,
             "resolution yields concrete algorithms"
         );
+        let kernel = match alg {
+            Algorithm::Heap => Some(NumericKernel::Heap),
+            Algorithm::Spa => Some(NumericKernel::Spa),
+            Algorithm::Hash => Some(NumericKernel::Hash),
+            Algorithm::SlidingHash => Some(NumericKernel::SlidingHash),
+            Algorithm::SlidingSpa => Some(NumericKernel::SlidingSpa),
+            // The 2-way/library folds have no symbolic phase to skip.
+            _ => None,
+        };
+
+        // Pattern-cache routing. Only the k-way family benefits, and only
+        // non-filtering monoids are sound: a filtering monoid's output
+        // structure depends on the values being folded, so a cached
+        // structure from one execution may be wrong for the next even at
+        // identical input sparsity.
+        let mut fingerprint_secs = 0.0;
+        let mut outcome = PatternOutcome::Disabled;
+        let mut hit: Option<Arc<Pattern>> = None;
+        let mut insert_on_miss: Option<PatternFingerprint> = None;
+        if let Some(cache) = self.cache.as_mut() {
+            outcome = PatternOutcome::Bypassed;
+            if kernel.is_some() && !O::MAY_FILTER {
+                let t = std::time::Instant::now();
+                let fp = PatternFingerprint::of(mats);
+                match cache.lookup(&fp) {
+                    Some(pattern) => {
+                        outcome = PatternOutcome::Hit;
+                        hit = Some(pattern);
+                    }
+                    None => {
+                        outcome = PatternOutcome::Miss;
+                        insert_on_miss = Some(fp);
+                    }
+                }
+                fingerprint_secs = t.elapsed().as_secs_f64();
+            }
+        }
 
         let ctx = DriverCtx {
             sched: self.opts.scheduling,
@@ -371,36 +449,56 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
         let symbolic = self.opts.symbolic;
         let monoid = self.monoid;
         let pool = &self.pool;
+        let hit_pattern = hit;
         let body = move || {
             let t0 = std::time::Instant::now();
+            if let Some(pattern) = hit_pattern.as_deref() {
+                let out = kway_numeric_cached(
+                    mats,
+                    pattern,
+                    kernel.expect("hits only occur on the k-way path"),
+                    monoid,
+                    &ctx,
+                    pool,
+                    recycle,
+                );
+                return (
+                    out,
+                    ExecuteStats {
+                        numeric: t0.elapsed().as_secs_f64(),
+                        symbolic_skipped: true,
+                        ..ExecuteStats::default()
+                    },
+                );
+            }
             match alg {
                 Algorithm::Auto => unreachable!("resolved above"),
                 Algorithm::TwoWayIncremental => (
                     twoway::spkadd_incremental_with(mats, 0, sched, monoid),
-                    PhaseTimings {
-                        symbolic: 0.0,
+                    ExecuteStats {
                         numeric: t0.elapsed().as_secs_f64(),
+                        ..ExecuteStats::default()
                     },
                 ),
                 Algorithm::TwoWayTree => (
                     twoway::spkadd_tree_with(mats, 0, sched, monoid),
-                    PhaseTimings {
-                        symbolic: 0.0,
+                    ExecuteStats {
                         numeric: t0.elapsed().as_secs_f64(),
+                        ..ExecuteStats::default()
                     },
                 ),
                 Algorithm::LibIncremental => (
                     libstyle::lib_incremental_with(mats, monoid),
-                    PhaseTimings {
-                        symbolic: 0.0,
+                    ExecuteStats {
                         numeric: t0.elapsed().as_secs_f64(),
+                        ..ExecuteStats::default()
                     },
                 ),
                 Algorithm::LibTree => (
                     libstyle::lib_tree_with(mats, monoid),
-                    PhaseTimings {
-                        symbolic: 0.0,
+                    ExecuteStats {
                         numeric: t0.elapsed().as_secs_f64(),
+                        ..ExecuteStats::default()
                     },
                 ),
                 Algorithm::Heap
@@ -420,33 +518,40 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
                     let counts = symbolic_counts(mats, strategy, &ctx, pool);
                     let symbolic_secs = t0.elapsed().as_secs_f64();
                     let exact = strategy != SymbolicStrategy::UpperBound;
-                    let kernel = match alg {
-                        Algorithm::Heap => NumericKernel::Heap,
-                        Algorithm::Spa => NumericKernel::Spa,
-                        Algorithm::Hash => NumericKernel::Hash,
-                        Algorithm::SlidingHash => NumericKernel::SlidingHash,
-                        Algorithm::SlidingSpa => NumericKernel::SlidingSpa,
-                        _ => unreachable!(),
-                    };
+                    let kernel = kernel.expect("k-way algorithms map to a kernel");
                     let t1 = std::time::Instant::now();
                     let out =
                         kway_numeric(mats, &counts, exact, kernel, monoid, &ctx, pool, recycle);
                     (
                         out,
-                        PhaseTimings {
+                        ExecuteStats {
                             symbolic: symbolic_secs,
                             numeric: t1.elapsed().as_secs_f64(),
+                            ..ExecuteStats::default()
                         },
                     )
                 }
             }
         };
-        let result = match &self.thread_pool {
+        let (out, mut stats) = match &self.thread_pool {
             Some(tp) => tp.install(body),
             None => body(),
         };
+        if let Some(fp) = insert_on_miss {
+            // Capture the cold result's structure — post-compaction, so
+            // exact even when the symbolic strategy was `UpperBound`.
+            let t = std::time::Instant::now();
+            self.cache.as_mut().expect("miss implies a cache").insert(
+                fp,
+                out.colptr(),
+                out.rowidx(),
+            );
+            fingerprint_secs += t.elapsed().as_secs_f64();
+        }
+        stats.fingerprint = fingerprint_secs;
+        stats.pattern = outcome;
         self.executions += 1;
-        Ok(result)
+        Ok((out, stats))
     }
 }
 

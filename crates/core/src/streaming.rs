@@ -12,6 +12,7 @@
 
 use crate::monoid::{Monoid, Plus};
 use crate::parallel::Scheduling;
+use crate::pattern::PatternCacheStats;
 use crate::sliding::budget_entries;
 use crate::twoway::add_pair_with;
 use crate::{numeric_entry_bytes, Algorithm, Options, SpkAdd, SpkAddPlan, SpkaddError};
@@ -212,6 +213,14 @@ impl<T: Element, O: Monoid<Value = T>> StreamingAccumulator<T, O> {
     /// The retained batch-reduction plan (`None` before the first flush).
     pub fn plan(&self) -> Option<&SpkAddPlan<T, O>> {
         self.plan.as_ref()
+    }
+
+    /// Pattern-cache counters of the retained plan (`None` before the
+    /// first flush or when `opts.pattern_cache == 0`). A steady-sparsity
+    /// stream — the gradient/FEM case batching motivates — hits the
+    /// cache on every flush after the first, skipping the symbolic pass.
+    pub fn pattern_stats(&self) -> Option<PatternCacheStats> {
+        self.plan.as_ref().and_then(|p| p.pattern_stats())
     }
 
     /// Reduces the pending batch into the running total now, through the

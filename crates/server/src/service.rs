@@ -83,6 +83,18 @@ impl ServiceConfig {
         self.flush = Some(flush);
         self
     }
+
+    /// Enables the pattern-keyed symbolic cache in every per-key
+    /// accumulator (builder-style): each key's retained plan keeps up to
+    /// `capacity` output structures keyed by input-sparsity fingerprint,
+    /// skipping the symbolic phase when a batch's structure repeats. A
+    /// key receiving fixed-sparsity submissions — the gradient
+    /// aggregation workload this service models — hits on every flush
+    /// after the first, so a capacity of 1–2 per key is usually enough.
+    pub fn with_pattern_cache(mut self, capacity: usize) -> Self {
+        self.opts.pattern_cache = capacity;
+        self
+    }
 }
 
 /// What a shard can answer during the two-round finalize protocol.
@@ -119,6 +131,8 @@ enum Msg<T: Element> {
 struct ShardCounters {
     slices: AtomicU64,
     batches_flushed: AtomicU64,
+    pattern_hits: AtomicU64,
+    pattern_misses: AtomicU64,
 }
 
 /// Point-in-time counters for one shard.
@@ -130,6 +144,12 @@ pub struct ShardMetrics {
     pub slices: u64,
     /// Streaming batch reductions performed so far.
     pub batches_flushed: u64,
+    /// Batch reductions that skipped their symbolic phase via the
+    /// pattern cache (0 unless [`ServiceConfig::with_pattern_cache`]).
+    pub pattern_hits: u64,
+    /// Batch reductions that fingerprinted their inputs but found no
+    /// cached structure.
+    pub pattern_misses: u64,
 }
 
 /// Point-in-time counters for the whole service.
@@ -150,6 +170,16 @@ impl ServiceMetrics {
     /// Total streaming batch reductions across all shards.
     pub fn batches_flushed(&self) -> u64 {
         self.shards.iter().map(|s| s.batches_flushed).sum()
+    }
+
+    /// Total symbolic phases skipped via the pattern cache.
+    pub fn pattern_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.pattern_hits).sum()
+    }
+
+    /// Total pattern-cache misses (cold flushes that captured structure).
+    pub fn pattern_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.pattern_misses).sum()
     }
 }
 
@@ -458,6 +488,8 @@ impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
                     rows: self.plan.range(s),
                     slices: c.slices.load(Ordering::Relaxed),
                     batches_flushed: c.batches_flushed.load(Ordering::Relaxed),
+                    pattern_hits: c.pattern_hits.load(Ordering::Relaxed),
+                    pattern_misses: c.pattern_misses.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -496,6 +528,28 @@ struct KeyState<T: Element, O: Monoid<Value = T>> {
     /// First reduction error, if any; reported at finalize. Later slices
     /// for the key are dropped once poisoned.
     error: Option<SpkaddError>,
+    /// Pattern-cache counts already folded into the shard counters, so
+    /// each flush's hits/misses are published exactly once.
+    pattern_seen: (u64, u64),
+}
+
+/// Publishes the accumulator's pattern-cache activity since the last
+/// sync to the shard counters.
+fn sync_pattern_counters<T: Element, O: Monoid<Value = T>>(
+    acc: &StreamingAccumulator<T, O>,
+    seen: &mut (u64, u64),
+    counters: &ShardCounters,
+) {
+    if let Some(stats) = acc.pattern_stats() {
+        let (dh, dm) = (stats.hits - seen.0, stats.misses - seen.1);
+        if dh > 0 {
+            counters.pattern_hits.fetch_add(dh, Ordering::Relaxed);
+        }
+        if dm > 0 {
+            counters.pattern_misses.fetch_add(dm, Ordering::Relaxed);
+        }
+        *seen = (stats.hits, stats.misses);
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -527,6 +581,7 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
                         monoid,
                     ),
                     error: None,
+                    pattern_seen: (0, 0),
                 });
                 if state.error.is_none() {
                     let before = state.acc.batches_flushed();
@@ -538,6 +593,7 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
                         counters
                             .batches_flushed
                             .fetch_add(flushed as u64, Ordering::Relaxed);
+                        sync_pattern_counters(&state.acc, &mut state.pattern_seen, &counters);
                     }
                 }
             }
@@ -545,17 +601,31 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
                 let answer = match keys.remove(&key) {
                     None => ShardReply::Unknown,
                     Some(KeyState { error: Some(e), .. }) => ShardReply::Failed(e),
-                    Some(KeyState { acc, error: None }) => {
-                        if acc.pending() > 0 {
-                            counters.batches_flushed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        match acc.finish() {
-                            Ok(partial) => {
-                                let counts = partial.col_nnz_counts();
-                                stash.insert(key, partial);
-                                ShardReply::Counts(counts)
-                            }
+                    Some(KeyState {
+                        mut acc,
+                        error: None,
+                        mut pattern_seen,
+                    }) => {
+                        // Flush the tail batch explicitly so its
+                        // pattern-cache activity is still observable
+                        // (`finish` consumes the accumulator).
+                        let had_pending = acc.pending() > 0;
+                        match acc.flush() {
                             Err(e) => ShardReply::Failed(e),
+                            Ok(()) => {
+                                if had_pending {
+                                    counters.batches_flushed.fetch_add(1, Ordering::Relaxed);
+                                    sync_pattern_counters(&acc, &mut pattern_seen, &counters);
+                                }
+                                match acc.finish() {
+                                    Ok(partial) => {
+                                        let counts = partial.col_nnz_counts();
+                                        stash.insert(key, partial);
+                                        ShardReply::Counts(counts)
+                                    }
+                                    Err(e) => ShardReply::Failed(e),
+                                }
+                            }
                         }
                     }
                 };
@@ -736,6 +806,36 @@ mod tests {
             svc.finalize("job"),
             Err(ServerError::Spkadd(SpkaddError::InvalidOptions(_)))
         ));
+    }
+
+    #[test]
+    fn pattern_cache_hits_on_steady_sparsity() {
+        // A fixed-structure stream (the gradient workload): every flush
+        // after a shard's first should hit the per-key pattern cache.
+        let config = ServiceConfig::with_shards(2)
+            .with_flush(FlushPolicy::Matrices(2))
+            .with_pattern_cache(2);
+        let mats: Vec<CscMatrix<f64>> = (0..8)
+            .map(|i| {
+                let mut m = shifted_diag(16, 3);
+                m.values_mut().iter_mut().for_each(|v| *v = 1.0 + i as f64);
+                m
+            })
+            .collect();
+        let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
+        let oneshot = spkadd_with(&refs, Algorithm::Hash, &Options::default()).unwrap();
+        let svc = AggregatorService::new(16, 16, config);
+        for m in &mats {
+            svc.submit("job", m).unwrap();
+        }
+        // Finalize first: it synchronizes with the shard workers, so the
+        // counters are final when read.
+        let sum = svc.finalize("job").unwrap();
+        assert_eq!(sum, oneshot, "cache hits must not change the result");
+        let metrics = svc.metrics();
+        // 4 flushes per shard: one cold miss, then steady hits.
+        assert_eq!(metrics.pattern_misses(), 2, "one cold flush per shard");
+        assert_eq!(metrics.pattern_hits(), 6, "3 warm flushes per shard");
     }
 
     #[test]

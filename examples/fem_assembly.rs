@@ -8,21 +8,28 @@
 //! batches gives a k-matrix SpKAdd whose sum is the classic tridiagonal
 //! stiffness matrix — verified against the analytic pattern.
 //!
+//! Solvers reassemble at every load/time step over a *fixed mesh*: the
+//! sparsity of every batch (and of the global matrix) never changes,
+//! only the element stiffnesses do. That is exactly the workload the
+//! plan's pattern cache targets — iteration 0 pays the symbolic phase
+//! and caches the output structure, every later iteration fingerprints
+//! the inputs, hits, and runs numeric-only.
+//!
 //! ```text
 //! cargo run --release --example fem_assembly
 //! ```
 
 use spkadd_suite::sparse::{CooMatrix, CscMatrix};
-use spkadd_suite::{Algorithm, SpkAdd};
+use spkadd_suite::{Algorithm, PatternOutcome, SpkAdd};
 
 /// Assembles the elements `[e0, e1)` of a 1D bar into a global-size
 /// sparse matrix. Element `e` couples nodes `e` and `e+1` with the local
-/// stiffness `[[+s, -s], [-s, +s]]`.
-fn element_batch(num_nodes: usize, e0: usize, e1: usize) -> CscMatrix<f64> {
+/// stiffness `[[+s, -s], [-s, +s]]`, scaled by the load-step `modulus`.
+fn element_batch(num_nodes: usize, e0: usize, e1: usize, modulus: f64) -> CscMatrix<f64> {
     let mut coo = CooMatrix::with_capacity(num_nodes, num_nodes, 4 * (e1 - e0));
     for e in e0..e1 {
         let (a, b) = (e as u32, e as u32 + 1);
-        let s = 1.0 + (e % 7) as f64 * 0.25; // per-element stiffness
+        let s = modulus * (1.0 + (e % 7) as f64 * 0.25); // per-element stiffness
         coo.push(a, a, s);
         coo.push(a, b, -s);
         coo.push(b, a, -s);
@@ -31,43 +38,92 @@ fn element_batch(num_nodes: usize, e0: usize, e1: usize) -> CscMatrix<f64> {
     coo.to_csc_sum_duplicates()
 }
 
+/// A nonlinear solver's "update the element stiffnesses" step: same
+/// mesh, same sparsity, new values.
+fn soften(batches: &mut [CscMatrix<f64>], factor: f64) {
+    for batch in batches {
+        for v in batch.values_mut() {
+            *v *= factor;
+        }
+    }
+}
+
 fn main() {
     let elements = 200_000;
     let num_nodes = elements + 1;
     let k = 64; // assembly batches (e.g. per-thread element chunks)
     let per = elements / k;
+    let steps = 8; // load steps over the fixed mesh
 
-    let batches: Vec<CscMatrix<f64>> = (0..k)
+    let mut batches: Vec<CscMatrix<f64>> = (0..k)
         .map(|i| {
             let e0 = i * per;
             let e1 = if i + 1 == k { elements } else { (i + 1) * per };
-            element_batch(num_nodes, e0, e1)
+            element_batch(num_nodes, e0, e1, 1.0)
         })
         .collect();
-    let refs: Vec<&CscMatrix<f64>> = batches.iter().collect();
     println!(
         "assembling {elements} elements into a {num_nodes}x{num_nodes} global matrix \
-         from k={k} batches"
+         from k={k} batches, {steps} load steps"
     );
 
-    // Solvers reassemble every load/time step at a fixed mesh; a retained
-    // plan makes step 2+ reuse the hash tables built for step 1.
+    // Retained plan + pattern cache: step 0 is the cold assembly (symbolic
+    // + numeric), steps 1+ skip the symbolic phase via a cache hit.
     let mut plan = SpkAdd::new(num_nodes, num_nodes)
         .algorithm(Algorithm::Hash)
+        .pattern_cache(2)
         .build()
         .expect("plan");
-    let t = std::time::Instant::now();
-    let mut global = plan.execute(&refs).expect("assembly");
-    let t_first = t.elapsed().as_secs_f64();
-    let t = std::time::Instant::now();
-    plan.execute_into(&refs, &mut global)
-        .expect("reassembly (workspaces + output buffers reused)");
+
+    let mut global = CscMatrix::zeros(num_nodes, num_nodes);
+    let mut cold_ms = 0.0;
+    let mut warm_ms = 0.0;
+    for step in 0..steps {
+        if step > 0 {
+            soften(&mut batches, 0.97); // new stiffnesses, identical sparsity
+        }
+        let refs: Vec<&CscMatrix<f64>> = batches.iter().collect();
+        let t = std::time::Instant::now();
+        let stats = plan
+            .execute_into_timed(&refs, &mut global)
+            .expect("assembly");
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let outcome = match stats.pattern {
+            PatternOutcome::Hit => "hit  (numeric-only)",
+            PatternOutcome::Miss => "miss (cold symbolic)",
+            PatternOutcome::Bypassed => "bypassed",
+            PatternOutcome::Disabled => "disabled",
+        };
+        println!(
+            "step {step}: {wall_ms:6.1} ms  symbolic {:6.1} ms  numeric {:6.1} ms  \
+             fingerprint {:.3} ms  pattern {outcome}",
+            stats.symbolic * 1e3,
+            stats.numeric * 1e3,
+            stats.fingerprint * 1e3,
+        );
+
+        // The fixed mesh makes the cache outcome deterministic: one miss,
+        // then hits that never rerun the symbolic phase.
+        if step == 0 {
+            assert_eq!(stats.pattern, PatternOutcome::Miss);
+            assert!(!stats.symbolic_skipped);
+            cold_ms = wall_ms;
+        } else {
+            assert_eq!(stats.pattern, PatternOutcome::Hit);
+            assert!(stats.symbolic_skipped);
+            assert_eq!(stats.symbolic, 0.0);
+            warm_ms += wall_ms;
+        }
+    }
+    let warm_avg = warm_ms / (steps - 1) as f64;
+    let cache = plan.pattern_stats().expect("cache enabled");
     println!(
-        "assembled in {:.1} ms (reassembly {:.1} ms through the retained plan): \
-         {} stored entries",
-        t_first * 1e3,
-        t.elapsed().as_secs_f64() * 1e3,
-        global.nnz()
+        "cold step {cold_ms:.1} ms, warm steps avg {warm_avg:.1} ms \
+         ({:.2}x) — cache: {} hits / {} misses",
+        cold_ms / warm_avg,
+        cache.hits,
+        cache.misses
     );
 
     // The 1D bar stiffness is tridiagonal: 2 entries in the boundary

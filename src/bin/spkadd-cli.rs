@@ -51,7 +51,8 @@ const USAGE: &str = "\
 spkadd-cli — SpKAdd over Matrix Market files
 
 USAGE:
-  spkadd-cli add  [--algorithm NAME] [--out FILE] [--unsorted] FILES...
+  spkadd-cli add  [--algorithm NAME] [--out FILE] [--unsorted]
+                  [--pattern-cache N] [--repeat N] FILES...
   spkadd-cli stats FILES...
   spkadd-cli gen  [--pattern er|rmat] [--rows R] [--cols C] [--d D] [--k K]
                   [--seed S] --out-dir DIR
@@ -104,6 +105,27 @@ fn load_all(paths: &[&String]) -> Result<Vec<CscMatrix<f64>>, String> {
         .collect()
 }
 
+/// Renders one execution's phase split without ambiguity: a skipped
+/// symbolic phase says so instead of printing a misleading `0.000 ms`.
+fn phase_summary(stats: &spkadd_suite::ExecuteStats) -> String {
+    use spkadd_suite::PatternOutcome;
+    let numeric = format!("numeric {:.3} ms", stats.numeric * 1e3);
+    match stats.pattern {
+        PatternOutcome::Hit => format!(
+            "symbolic skipped — pattern cache hit, fingerprint {:.3} ms, {numeric}",
+            stats.fingerprint * 1e3
+        ),
+        PatternOutcome::Miss => format!(
+            "symbolic {:.3} ms, fingerprint {:.3} ms, {numeric}",
+            stats.symbolic * 1e3,
+            stats.fingerprint * 1e3
+        ),
+        PatternOutcome::Disabled | PatternOutcome::Bypassed => {
+            format!("symbolic {:.3} ms, {numeric}", stats.symbolic * 1e3)
+        }
+    }
+}
+
 fn cmd_add(args: &[String]) -> Result<(), String> {
     let alg: Algorithm = flag_value(args, "--algorithm")
         .unwrap_or("hash")
@@ -111,6 +133,8 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
         .map_err(|e: spkadd_suite::kadd::SpkaddError| e.to_string())?;
     let out = flag_value(args, "--out");
     let unsorted = args.iter().any(|a| a == "--unsorted");
+    let cache_cap: usize = parsed_flag(args, "--pattern-cache", 0)?;
+    let repeat: usize = parsed_flag(args, "--repeat", 1)?.max(1);
     let mats = load_all(&positional(args))?;
     let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
     let (nrows, ncols) = common_shape(&refs).map_err(|e| e.to_string())?;
@@ -118,20 +142,36 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
     let mut plan = SpkAdd::new(nrows, ncols)
         .algorithm(alg)
         .sorted_output(!unsorted)
+        .pattern_cache(cache_cap)
         .build()
         .map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
-    let sum = plan.execute(&refs).map_err(|e| e.to_string())?;
+    let mut sum = CscMatrix::zeros(nrows, ncols);
+    let mut stats = spkadd_suite::ExecuteStats::default();
+    for pass in 0..repeat {
+        let t = std::time::Instant::now();
+        stats = plan
+            .execute_into_timed(&refs, &mut sum)
+            .map_err(|e| e.to_string())?;
+        if repeat > 1 {
+            eprintln!(
+                "pass {pass}: {:.3} ms ({})",
+                t.elapsed().as_secs_f64() * 1e3,
+                phase_summary(&stats)
+            );
+        }
+    }
     let secs = t0.elapsed().as_secs_f64();
 
     let total: usize = mats.iter().map(|m| m.nnz()).sum();
     eprintln!(
-        "added k={} matrices ({}x{}, {} input nnz) in {:.3} ms → {} output nnz (cf {:.2})",
+        "added k={} matrices ({}x{}, {} input nnz) in {:.3} ms ({}) → {} output nnz (cf {:.2})",
         mats.len(),
         sum.nrows(),
         sum.ncols(),
         total,
         secs * 1e3,
+        phase_summary(&stats),
         sum.nnz(),
         total as f64 / sum.nnz().max(1) as f64
     );

@@ -33,6 +33,11 @@ pub use spkadd::{SpkAdd, SpkAddPlan};
 /// the paper's Fig 2 heuristics).
 pub use spkadd::{spkadd_auto, spkadd_with, Algorithm, Options};
 
+/// Per-execution instrumentation: phase timings plus the pattern-cache
+/// outcome ([`PatternOutcome::Hit`] means the symbolic phase was skipped
+/// entirely and the cached output structure was reused).
+pub use spkadd::{ExecuteStats, PatternCacheStats, PatternOutcome};
+
 /// Monoid-generic reduction: the same SpKAdd machinery folding under
 /// any associative combine — `Or` for structural unions, `Min`/
 /// [`MaxPlus`] for tropical semirings, [`ThresholdedPlus`] for filtered
