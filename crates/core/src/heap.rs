@@ -21,6 +21,19 @@ struct Node<T> {
     val: T,
 }
 
+impl<T> Node<T> {
+    /// Heap ordering key. The `mat` tie-break makes equal-row entries pop
+    /// in matrix order, so duplicate coordinates fold left-to-right across
+    /// the collection — the same combine order as the hash/SPA kernels'
+    /// sequential sweep. Without it the pop order of ties depends on heap
+    /// shape, and non-commutative-in-the-bits folds (f64 addition) could
+    /// differ between kernels.
+    #[inline(always)]
+    fn key(&self) -> (u32, u32) {
+        (self.row, self.mat)
+    }
+}
+
 /// Reusable k-way merge heap for one task (thread-private, O(k) memory).
 #[derive(Debug, Clone)]
 pub struct KwayHeap<T> {
@@ -180,7 +193,7 @@ impl<T: Element> KwayHeap<T> {
         while i > 0 {
             let parent = (i - 1) / 2;
             mem.op(1);
-            if self.heap[parent].row <= self.heap[i].row {
+            if self.heap[parent].key() <= self.heap[i].key() {
                 break;
             }
             self.heap.swap(parent, i);
@@ -212,10 +225,10 @@ impl<T: Element> KwayHeap<T> {
             let r = l + 1;
             let mut smallest = i;
             mem.op(1);
-            if l < n && self.heap[l].row < self.heap[smallest].row {
+            if l < n && self.heap[l].key() < self.heap[smallest].key() {
                 smallest = l;
             }
-            if r < n && self.heap[r].row < self.heap[smallest].row {
+            if r < n && self.heap[r].key() < self.heap[smallest].key() {
                 smallest = r;
             }
             if smallest == i {
@@ -317,6 +330,28 @@ mod tests {
             assert_eq!(n, 1);
             assert_eq!(vals[0], 3.0);
         }
+    }
+
+    #[test]
+    fn ties_combine_in_matrix_order() {
+        // Float addition is not associative in the bits: with the
+        // (row, mat) tie-break the heap must fold duplicates strictly
+        // left-to-right, matching the hash/SPA kernels' sweep order.
+        let vals = [1e16, 1.0, -1e16, 3.0];
+        let cols: Vec<ColView<f64>> = vals
+            .iter()
+            .map(|v| ColView {
+                rows: std::slice::from_ref(&7u32),
+                vals: std::slice::from_ref(v),
+            })
+            .collect();
+        let mut heap = KwayHeap::new(vals.len());
+        let mut rows = vec![0u32; vals.len()];
+        let mut out = vec![0.0f64; vals.len()];
+        let n = heap.add_column(&cols, &mut rows, &mut out, &mut NullModel);
+        assert_eq!(n, 1);
+        let left_fold = vals.iter().copied().reduce(|a, b| a + b).unwrap();
+        assert_eq!(out[0].to_bits(), left_fold.to_bits());
     }
 
     #[test]

@@ -20,18 +20,235 @@ use crate::pattern::Pattern;
 use crate::sliding::sliding_add_column_with;
 use crate::spa::sliding_spa_add_column_with;
 use crate::symbolic::DriverCtx;
+use crate::tuning::{ChunkProfile, ChunkScorer};
 use crate::workspace::WorkspacePool;
 use rayon::prelude::*;
 use spk_sparse::{ColView, CscMatrix, Element};
+use std::ops::Range;
+use std::sync::Arc;
 
-/// Which column kernel the numeric phase runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum NumericKernel {
+/// Which column kernel the numeric phase runs for a chunk — the five
+/// k-way column families (the 2-way/library folds never reach the k-way
+/// driver). [`crate::ExecuteStats::kernel_counts`] reports how many
+/// chunks each kernel materialized in one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumericKernel {
+    /// Per-column hash table (Algorithms 5/6).
     Hash,
+    /// Cache-budgeted sliding hash tables (Algorithms 7/8).
     SlidingHash,
+    /// Dense sparse accumulator (Algorithm 4).
     Spa,
+    /// Row-partitioned cache-resident SPA panels (§IV-B(b) extension).
     SlidingSpa,
+    /// O(k)-state streaming merge heap (Algorithm 3; sorted inputs only).
     Heap,
+}
+
+impl NumericKernel {
+    /// Number of kernel variants (the length of [`NumericKernel::ALL`]).
+    pub const COUNT: usize = 5;
+
+    /// Every kernel, in the order [`KernelCounts`] reports them.
+    pub const ALL: [NumericKernel; Self::COUNT] = [
+        NumericKernel::Hash,
+        NumericKernel::SlidingHash,
+        NumericKernel::Spa,
+        NumericKernel::SlidingSpa,
+        NumericKernel::Heap,
+    ];
+
+    /// Stable kebab-case token (matches the corresponding
+    /// [`crate::Algorithm::token`] spelling).
+    pub fn token(&self) -> &'static str {
+        match self {
+            NumericKernel::Hash => "hash",
+            NumericKernel::SlidingHash => "sliding-hash",
+            NumericKernel::Spa => "spa",
+            NumericKernel::SlidingSpa => "sliding-spa",
+            NumericKernel::Heap => "heap",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            NumericKernel::Hash => 0,
+            NumericKernel::SlidingHash => 1,
+            NumericKernel::Spa => 2,
+            NumericKernel::SlidingSpa => 3,
+            NumericKernel::Heap => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for NumericKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Per-kernel chunk histogram of one (or an aggregation of) execution(s):
+/// how many column chunks each [`NumericKernel`] materialized. A fixed
+/// `Copy` array so [`crate::ExecuteStats`] stays `Copy`.
+///
+/// Displays as the nonzero entries in [`NumericKernel::ALL`] order, e.g.
+/// `spa=12 hash=3 heap=1` (`-` when empty — a 2-way/library execution
+/// that never entered the k-way driver).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounts {
+    counts: [u64; NumericKernel::COUNT],
+}
+
+impl KernelCounts {
+    /// Records one chunk dispatched to `kernel`.
+    pub fn record(&mut self, kernel: NumericKernel) {
+        self.counts[kernel.index()] += 1;
+    }
+
+    /// Records `chunks` chunks dispatched to `kernel` (bulk form of
+    /// [`record`](Self::record), for rebuilding a histogram from
+    /// externally maintained counters).
+    pub fn add(&mut self, kernel: NumericKernel, chunks: u64) {
+        self.counts[kernel.index()] += chunks;
+    }
+
+    /// Chunks dispatched to `kernel`.
+    pub fn get(&self, kernel: NumericKernel) -> u64 {
+        self.counts[kernel.index()]
+    }
+
+    /// Total chunks across all kernels.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// How many distinct kernels ran (≥ 2 means the execution actually
+    /// mixed kernels — the adaptive driver's reason to exist).
+    pub fn distinct(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// `true` when nothing was recorded (no k-way numeric phase ran).
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Accumulates another histogram (streaming/server aggregation).
+    pub fn merge(&mut self, other: &KernelCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+
+    /// The nonzero `(kernel, chunks)` pairs in [`NumericKernel::ALL`]
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (NumericKernel, u64)> + '_ {
+        NumericKernel::ALL
+            .into_iter()
+            .map(|k| (k, self.get(k)))
+            .filter(|&(_, c)| c > 0)
+    }
+
+    /// Histogram of a per-chunk decision vector.
+    pub(crate) fn from_decisions(decisions: &[NumericKernel]) -> Self {
+        let mut counts = Self::default();
+        for &d in decisions {
+            counts.record(d);
+        }
+        counts
+    }
+}
+
+impl std::fmt::Display for KernelCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return f.write_str("-");
+        }
+        let mut first = true;
+        for (kernel, count) in self.iter() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{kernel}={count}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// How the numeric driver assigns kernels to chunks.
+#[derive(Debug, Clone)]
+pub(crate) enum KernelDispatch {
+    /// Every chunk runs one kernel — a forced algorithm, or `Auto` with
+    /// adaptivity disabled.
+    Fixed(NumericKernel),
+    /// Score each chunk's profile and pick per chunk (`Auto`, adaptive).
+    Adaptive(ChunkScorer),
+    /// A pattern-cache hit replays the decisions memoized alongside the
+    /// structure (same pattern ⇒ same counts ⇒ same chunking ⇒ the same
+    /// scores — so warm hits skip scoring too). Falls back to rescoring
+    /// if the chunk count ever disagrees.
+    Memoized {
+        decisions: Arc<Vec<NumericKernel>>,
+        scorer: ChunkScorer,
+    },
+}
+
+/// Profiles one chunk from data the symbolic phase already fixed: the
+/// output `colptr` bounds give `nnz_out`; each input's `colptr` window
+/// gives its local nnz (and thereby `k_eff` and the compression ratio) —
+/// O(k) per chunk, no per-entry work.
+pub(crate) fn chunk_profile<T: Element>(
+    mats: &[&CscMatrix<T>],
+    out_colptr: &[usize],
+    range: &Range<usize>,
+) -> ChunkProfile {
+    let nnz_out = out_colptr[range.end] - out_colptr[range.start];
+    let mut nnz_in = 0usize;
+    let mut k_eff = 0usize;
+    for a in mats {
+        let cp = a.colptr();
+        let local = cp[range.end] - cp[range.start];
+        nnz_in += local;
+        k_eff += usize::from(local > 0);
+    }
+    ChunkProfile {
+        cols: range.len(),
+        k: mats.len(),
+        k_eff,
+        nnz_in,
+        nnz_out,
+    }
+}
+
+/// Resolves a dispatch policy into one kernel per chunk. Scoring is a
+/// serial O(ranges · k) sweep over column-pointer windows — negligible
+/// next to the numeric phase, and deterministic, so reruns (and memoized
+/// replays) always agree.
+fn decide_kernels<T: Element>(
+    mats: &[&CscMatrix<T>],
+    out_colptr: &[usize],
+    ranges: &[Range<usize>],
+    dispatch: &KernelDispatch,
+) -> Vec<NumericKernel> {
+    let score = |scorer: &ChunkScorer| {
+        ranges
+            .iter()
+            .map(|r| scorer.choose(&chunk_profile(mats, out_colptr, r)))
+            .collect()
+    };
+    match dispatch {
+        KernelDispatch::Fixed(kernel) => vec![*kernel; ranges.len()],
+        KernelDispatch::Adaptive(scorer) => score(scorer),
+        KernelDispatch::Memoized { decisions, scorer } => {
+            if decisions.len() == ranges.len() {
+                decisions.as_ref().clone()
+            } else {
+                score(scorer)
+            }
+        }
+    }
 }
 
 /// Output buffers recycled from a previous result (`execute_into`): the
@@ -58,17 +275,24 @@ impl<T: Element> RecycledBufs<T> {
 /// (`exact = false`) the result is compacted afterwards. A filtering
 /// monoid demotes every count to an upper bound — the symbolic phase is
 /// value-free and cannot predict what `keep` will drop.
+///
+/// Returns the output and the per-chunk kernel decisions (one entry per
+/// weight-balanced range, in range order) — a constant vector under
+/// [`KernelDispatch::Fixed`], the scored mix under adaptive dispatch.
+/// Every kernel folds duplicates in matrix order and fills the same
+/// per-column windows, so the decisions change *how* each chunk is
+/// materialized, never its bits.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn kway_numeric<T: Element, O: Monoid<Value = T>>(
     mats: &[&CscMatrix<T>],
     counts: &[usize],
     exact: bool,
-    kernel: NumericKernel,
+    dispatch: &KernelDispatch,
     monoid: O,
     ctx: &DriverCtx,
     pool: &WorkspacePool<T>,
     recycle: RecycledBufs<T>,
-) -> CscMatrix<T> {
+) -> (CscMatrix<T>, Vec<NumericKernel>) {
     let exact = exact && !O::MAY_FILTER;
     let n = mats[0].ncols();
     let m = mats[0].nrows();
@@ -89,6 +313,9 @@ pub(crate) fn kway_numeric<T: Element, O: Monoid<Value = T>>(
 
     // Numeric-phase load balancing uses output nonzeros per column (§III-A).
     let ranges = plan_ranges(counts, 0, ctx.sched);
+    // Kernel-per-chunk decisions come from structure the symbolic phase
+    // already fixed, before any value is touched.
+    let decisions = decide_kernels(mats, &colptr, &ranges, dispatch);
     let chunks = split_output(&colptr, &ranges, &mut rowidx, &mut values);
 
     // Per-task actual counts (differ from `counts` when inexact).
@@ -106,12 +333,16 @@ pub(crate) fn kway_numeric<T: Element, O: Monoid<Value = T>>(
     chunks
         .into_par_iter()
         .zip(actual_parts.into_par_iter())
-        .for_each(|(chunk, actual_out)| {
+        .zip(decisions.clone().into_par_iter())
+        .for_each(|((chunk, actual_out), kernel)| {
             let mut views: Vec<ColView<'_, T>> = Vec::with_capacity(k);
             let mut mem = NullModel;
             // Thread-private workspaces (§III-A): one per worker, reused
             // across all chunks that worker steals — and across plan
-            // executions, because the pool outlives this call.
+            // executions, because the pool outlives this call. Under
+            // adaptive dispatch one worker may serve several kernel
+            // families; the pool's components are lazy, so only the
+            // families actually dispatched get built.
             let mut ws = pool.for_current_thread();
             for (slot, j) in chunk.cols.clone().enumerate() {
                 views.clear();
@@ -193,11 +424,12 @@ pub(crate) fn kway_numeric<T: Element, O: Monoid<Value = T>>(
             }
         });
 
-    if exact {
+    let out = if exact {
         CscMatrix::from_parts(m, n, colptr, rowidx, values)
     } else {
         compact(m, n, &colptr, &actual, rowidx, values)
-    }
+    };
+    (out, decisions)
 }
 
 /// Numeric-only driver for a pattern-cache hit: the output structure is
@@ -220,12 +452,12 @@ pub(crate) fn kway_numeric<T: Element, O: Monoid<Value = T>>(
 pub(crate) fn kway_numeric_cached<T: Element, O: Monoid<Value = T>>(
     mats: &[&CscMatrix<T>],
     pattern: &Pattern,
-    kernel: NumericKernel,
+    dispatch: &KernelDispatch,
     monoid: O,
     ctx: &DriverCtx,
     pool: &WorkspacePool<T>,
     recycle: RecycledBufs<T>,
-) -> CscMatrix<T> {
+) -> (CscMatrix<T>, Vec<NumericKernel>) {
     debug_assert!(!O::MAY_FILTER, "filtering monoids must bypass the cache");
     let n = mats[0].ncols();
     let m = mats[0].nrows();
@@ -247,83 +479,98 @@ pub(crate) fn kway_numeric_cached<T: Element, O: Monoid<Value = T>>(
 
     let counts: Vec<usize> = colptr.windows(2).map(|w| w[1] - w[0]).collect();
     let ranges = plan_ranges(&counts, 0, ctx.sched);
+    // A memoized dispatch replays the cold run's per-chunk decisions;
+    // the identical counts reproduce the identical ranges, so no chunk
+    // is ever rescored on the warm path.
+    let decisions = decide_kernels(mats, &colptr, &ranges, dispatch);
     let chunks = split_output(&colptr, &ranges, &mut rowidx, &mut values);
 
-    chunks.into_par_iter().for_each(|chunk| {
-        let mut views: Vec<ColView<'_, T>> = Vec::with_capacity(k);
-        let mut mem = NullModel;
-        let mut ws = pool.for_current_thread();
-        for j in chunk.cols.clone() {
-            views.clear();
-            views.extend(mats.iter().map(|a| a.col(j)));
-            let lo = colptr[j] - chunk.base;
-            let hi = colptr[j + 1] - chunk.base;
-            let out_rows = &mut chunk.rows[lo..hi];
-            let out_vals = &mut chunk.vals[lo..hi];
-            match kernel {
-                NumericKernel::Hash => {
-                    let ht = ws.hash();
-                    ht.reserve_for(hi - lo);
-                    hash_numeric_only_column(&views, ht, out_rows, out_vals, monoid, &mut mem);
-                }
-                NumericKernel::Spa => {
-                    spa_numeric_only_column(&views, ws.spa(m), out_rows, out_vals, monoid, &mut mem)
-                }
-                // The sliding and heap kernels emit rows themselves; with
-                // exact cached counts they rewrite the pre-copied rows
-                // with the same content, so only the symbolic skip (the
-                // full-input sweep) is saved for these families.
-                NumericKernel::SlidingHash => {
-                    let (ht, scratch) = ws.hash_and_scratch();
-                    let written = sliding_add_column_with(
+    chunks
+        .into_par_iter()
+        .zip(decisions.clone().into_par_iter())
+        .for_each(|(chunk, kernel)| {
+            let mut views: Vec<ColView<'_, T>> = Vec::with_capacity(k);
+            let mut mem = NullModel;
+            let mut ws = pool.for_current_thread();
+            for j in chunk.cols.clone() {
+                views.clear();
+                views.extend(mats.iter().map(|a| a.col(j)));
+                let lo = colptr[j] - chunk.base;
+                let hi = colptr[j + 1] - chunk.base;
+                let out_rows = &mut chunk.rows[lo..hi];
+                let out_vals = &mut chunk.vals[lo..hi];
+                match kernel {
+                    NumericKernel::Hash => {
+                        let ht = ws.hash();
+                        ht.reserve_for(hi - lo);
+                        hash_numeric_only_column(&views, ht, out_rows, out_vals, monoid, &mut mem);
+                    }
+                    NumericKernel::Spa => spa_numeric_only_column(
                         &views,
-                        m,
-                        ctx.budget_add,
-                        hi - lo,
-                        ht,
-                        out_rows,
-                        out_vals,
-                        ctx.sorted_output,
-                        ctx.inputs_sorted,
-                        monoid,
-                        scratch,
-                        &mut mem,
-                    );
-                    debug_assert_eq!(written, hi - lo, "cached count mismatch");
-                }
-                NumericKernel::SlidingSpa => {
-                    let (spa, scratch) = ws.spa_and_scratch(m.min(ctx.budget_add.max(1)));
-                    let written = sliding_spa_add_column_with(
-                        &views,
-                        m,
-                        ctx.budget_add,
-                        spa,
-                        out_rows,
-                        out_vals,
-                        ctx.sorted_output,
-                        ctx.inputs_sorted,
-                        monoid,
-                        scratch,
-                        &mut mem,
-                    );
-                    debug_assert_eq!(written, hi - lo, "cached count mismatch");
-                }
-                NumericKernel::Heap => {
-                    let written = heap_add_column_with(
-                        &views,
-                        ws.heap(k),
+                        ws.spa(m),
                         out_rows,
                         out_vals,
                         monoid,
                         &mut mem,
-                    );
-                    debug_assert_eq!(written, hi - lo, "cached count mismatch");
+                    ),
+                    // The sliding and heap kernels emit rows themselves; with
+                    // exact cached counts they rewrite the pre-copied rows
+                    // with the same content, so only the symbolic skip (the
+                    // full-input sweep) is saved for these families.
+                    NumericKernel::SlidingHash => {
+                        let (ht, scratch) = ws.hash_and_scratch();
+                        let written = sliding_add_column_with(
+                            &views,
+                            m,
+                            ctx.budget_add,
+                            hi - lo,
+                            ht,
+                            out_rows,
+                            out_vals,
+                            ctx.sorted_output,
+                            ctx.inputs_sorted,
+                            monoid,
+                            scratch,
+                            &mut mem,
+                        );
+                        debug_assert_eq!(written, hi - lo, "cached count mismatch");
+                    }
+                    NumericKernel::SlidingSpa => {
+                        let (spa, scratch) = ws.spa_and_scratch(m.min(ctx.budget_add.max(1)));
+                        let written = sliding_spa_add_column_with(
+                            &views,
+                            m,
+                            ctx.budget_add,
+                            spa,
+                            out_rows,
+                            out_vals,
+                            ctx.sorted_output,
+                            ctx.inputs_sorted,
+                            monoid,
+                            scratch,
+                            &mut mem,
+                        );
+                        debug_assert_eq!(written, hi - lo, "cached count mismatch");
+                    }
+                    NumericKernel::Heap => {
+                        let written = heap_add_column_with(
+                            &views,
+                            ws.heap(k),
+                            out_rows,
+                            out_vals,
+                            monoid,
+                            &mut mem,
+                        );
+                        debug_assert_eq!(written, hi - lo, "cached count mismatch");
+                    }
                 }
             }
-        }
-    });
+        });
 
-    CscMatrix::from_parts(m, n, colptr, rowidx, values)
+    (
+        CscMatrix::from_parts(m, n, colptr, rowidx, values),
+        decisions,
+    )
 }
 
 /// Squeezes out the per-column slack left by an upper-bound allocation.
@@ -414,11 +661,11 @@ mod tests {
             NumericKernel::Spa,
             NumericKernel::Heap,
         ] {
-            let out = kway_numeric(
+            let (out, decisions) = kway_numeric(
                 &refs,
                 &counts,
                 true,
-                kernel,
+                &KernelDispatch::Fixed(kernel),
                 Plus::new(),
                 &c,
                 &ws,
@@ -431,6 +678,14 @@ mod tests {
             );
             assert!(out.is_sorted(), "{kernel:?} must emit sorted columns");
             assert_eq!(out.nnz(), counts.iter().sum::<usize>());
+            assert!(
+                decisions.iter().all(|&d| d == kernel),
+                "fixed dispatch must not mix kernels"
+            );
+            assert_eq!(
+                KernelCounts::from_decisions(&decisions).total(),
+                decisions.len() as u64
+            );
         }
     }
 
@@ -442,11 +697,11 @@ mod tests {
         let ws = pool();
         let upper = symbolic_counts(&refs, SymbolicStrategy::UpperBound, &c, &ws);
         let exact = symbolic_counts(&refs, SymbolicStrategy::Hash, &c, &ws);
-        let out = kway_numeric(
+        let (out, _) = kway_numeric(
             &refs,
             &upper,
             false,
-            NumericKernel::Hash,
+            &KernelDispatch::Fixed(NumericKernel::Hash),
             Plus::new(),
             &c,
             &ws,
@@ -467,11 +722,11 @@ mod tests {
         c.sorted_output = false;
         let ws = pool();
         let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c, &ws);
-        let out = kway_numeric(
+        let (out, _) = kway_numeric(
             &refs,
             &counts,
             true,
-            NumericKernel::Hash,
+            &KernelDispatch::Fixed(NumericKernel::Hash),
             Plus::new(),
             &c,
             &ws,
@@ -492,11 +747,11 @@ mod tests {
         c.budget_sym = 16;
         let ws = pool();
         let counts = symbolic_counts(&refs, SymbolicStrategy::SlidingHash, &c, &ws);
-        let out = kway_numeric(
+        let (out, _) = kway_numeric(
             &refs,
             &counts,
             true,
-            NumericKernel::SlidingHash,
+            &KernelDispatch::Fixed(NumericKernel::SlidingHash),
             Plus::new(),
             &c,
             &ws,
@@ -516,22 +771,22 @@ mod tests {
         let mut c = ctx();
         let ws = pool();
         let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c, &ws);
-        let dynamic = kway_numeric(
+        let (dynamic, _) = kway_numeric(
             &refs,
             &counts,
             true,
-            NumericKernel::Hash,
+            &KernelDispatch::Fixed(NumericKernel::Hash),
             Plus::new(),
             &c,
             &ws,
             RecycledBufs::default(),
         );
         c.sched = Scheduling::Static;
-        let stat = kway_numeric(
+        let (stat, _) = kway_numeric(
             &refs,
             &counts,
             true,
-            NumericKernel::Hash,
+            &KernelDispatch::Fixed(NumericKernel::Hash),
             Plus::new(),
             &c,
             &ws,
@@ -541,28 +796,82 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_dispatch_is_bitwise_equal_to_fixed() {
+        let ms = inputs();
+        let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
+        let c = ctx();
+        let ws = pool();
+        let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c, &ws);
+        let (expect, _) = kway_numeric(
+            &refs,
+            &counts,
+            true,
+            &KernelDispatch::Fixed(NumericKernel::Hash),
+            Plus::new(),
+            &c,
+            &ws,
+            RecycledBufs::default(),
+        );
+        let scorer = ChunkScorer {
+            rows: 8,
+            entry_bytes: 12,
+            threads: 1,
+            llc_bytes: 32 << 20,
+            heap_allowed: true,
+        };
+        let (out, decisions) = kway_numeric(
+            &refs,
+            &counts,
+            true,
+            &KernelDispatch::Adaptive(scorer),
+            Plus::new(),
+            &c,
+            &ws,
+            RecycledBufs::default(),
+        );
+        assert_eq!(out, expect);
+        assert!(!decisions.is_empty());
+        // Replaying the decisions (the warm-hit path's dispatch) agrees.
+        let (replay, replay_decisions) = kway_numeric(
+            &refs,
+            &counts,
+            true,
+            &KernelDispatch::Memoized {
+                decisions: Arc::new(decisions.clone()),
+                scorer,
+            },
+            Plus::new(),
+            &c,
+            &ws,
+            RecycledBufs::default(),
+        );
+        assert_eq!(replay, expect);
+        assert_eq!(replay_decisions, decisions);
+    }
+
+    #[test]
     fn recycled_buffers_are_reused() {
         let ms = inputs();
         let refs: Vec<&CscMatrix<f64>> = ms.iter().collect();
         let c = ctx();
         let ws = pool();
         let counts = symbolic_counts(&refs, SymbolicStrategy::Hash, &c, &ws);
-        let first = kway_numeric(
+        let (first, _) = kway_numeric(
             &refs,
             &counts,
             true,
-            NumericKernel::Hash,
+            &KernelDispatch::Fixed(NumericKernel::Hash),
             Plus::new(),
             &c,
             &ws,
             RecycledBufs::default(),
         );
         let expect = first.clone();
-        let again = kway_numeric(
+        let (again, _) = kway_numeric(
             &refs,
             &counts,
             true,
-            NumericKernel::Hash,
+            &KernelDispatch::Fixed(NumericKernel::Hash),
             Plus::new(),
             &c,
             &ws,

@@ -89,6 +89,7 @@ pub mod workspace;
 
 pub use dcscadd::spkadd_dcsc;
 pub use error::SpkaddError;
+pub use kway::{KernelCounts, NumericKernel};
 pub use mem::{CountingModel, MemModel, NullModel};
 pub use monoid::{MaxPlus, Min, Monoid, Or, Plus, SaturatingCount, ThresholdedPlus};
 pub use parallel::Scheduling;
@@ -97,7 +98,7 @@ pub use plan::{SpkAdd, SpkAddPlan};
 pub use rowwise::spkadd_csr;
 pub use streaming::{FlushPolicy, StreamingAccumulator};
 pub use symbolic::SymbolicStrategy;
-pub use tuning::{choose_algorithm, CacheConfig};
+pub use tuning::{choose_algorithm, CacheConfig, ChunkProfile, ChunkScorer};
 pub use twoway::add_pair;
 
 use spk_sparse::{common_shape, CscMatrix, Element, Scalar};
@@ -276,6 +277,14 @@ pub struct Options {
     /// Check input sortedness up front and fail fast for algorithms that
     /// require it. Disable only when the caller guarantees sortedness.
     pub validate_sorted: bool,
+    /// Whether [`Algorithm::Auto`] dispatches kernels *per column chunk*
+    /// (scoring each weight-balanced partition with [`ChunkScorer`])
+    /// instead of resolving one global algorithm per execution. On by
+    /// default; turn off (or use
+    /// [`SpkAdd::adaptive`](plan::SpkAdd::adaptive)) to force the old
+    /// global Fig 2 resolution, e.g. for A/B runs. Ignored for explicit
+    /// (non-`Auto`) algorithm choices.
+    pub adaptive: bool,
     /// Capacity of the plan's pattern cache (LRU over collection
     /// structure fingerprints); `0` disables caching. When a collection
     /// with previously-seen sparsity is executed, the symbolic phase is
@@ -295,6 +304,7 @@ impl Default for Options {
             cache: CacheConfig::detect(),
             forced_table_entries: None,
             validate_sorted: true,
+            adaptive: true,
             pattern_cache: 0,
         }
     }
@@ -384,6 +394,12 @@ pub struct ExecuteStats {
     pub symbolic_skipped: bool,
     /// How this execution interacted with the pattern cache.
     pub pattern: PatternOutcome,
+    /// Per-chunk kernel histogram of the k-way numeric phase: how many
+    /// weight-balanced column chunks each [`NumericKernel`] materialized.
+    /// A forced algorithm (or `Auto` with [`Options::adaptive`] off)
+    /// reports a single-kernel histogram; the 2-way/library folds report
+    /// an empty one.
+    pub kernel_counts: KernelCounts,
 }
 
 impl ExecuteStats {

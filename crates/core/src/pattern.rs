@@ -23,6 +23,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::kway::NumericKernel;
 use rayon::prelude::*;
 use spk_sparse::{CscMatrix, Element};
 
@@ -181,6 +182,12 @@ impl PatternFingerprint {
 pub(crate) struct Pattern {
     pub(crate) colptr: Vec<usize>,
     pub(crate) rowidx: Vec<u32>,
+    /// Per-chunk kernel decisions memoized from the cold (miss) run.
+    /// Identical structure ⇒ identical symbolic counts ⇒ identical
+    /// chunking ⇒ identical scores, so an adaptive warm hit replays
+    /// these instead of rescoring. Empty for non-adaptive insertions —
+    /// the dispatch ignores it then.
+    pub(crate) kernels: Arc<Vec<NumericKernel>>,
 }
 
 #[derive(Debug)]
@@ -223,6 +230,29 @@ pub struct PatternCache {
     misses: u64,
     insertions: u64,
     evictions: u64,
+    identity_hits: u64,
+    /// Pointer-identity memo for the fingerprint fast path: the buffer
+    /// addresses and nnz of the last fingerprinted collection, plus its
+    /// print. See [`PatternCache::fingerprint`].
+    identity: IdentityMemo,
+}
+
+#[derive(Debug, Default)]
+struct IdentityMemo {
+    /// One `(colptr ptr, rowidx ptr, nnz)` triple per matrix, in order.
+    /// Buffer pointers — not `&CscMatrix` addresses — so the memo
+    /// survives the matrix structs being moved between executions.
+    ids: Vec<(usize, usize, usize)>,
+    fp: Option<PatternFingerprint>,
+}
+
+/// Identity triple of one matrix: its structural buffers and nnz.
+fn identity_of<T: Element>(a: &CscMatrix<T>) -> (usize, usize, usize) {
+    (
+        a.colptr().as_ptr() as usize,
+        a.rowidx().as_ptr() as usize,
+        a.nnz(),
+    )
 }
 
 impl PatternCache {
@@ -236,7 +266,52 @@ impl PatternCache {
             misses: 0,
             insertions: 0,
             evictions: 0,
+            identity_hits: 0,
+            identity: IdentityMemo::default(),
         }
+    }
+
+    /// Fingerprints a collection, skipping the digest sweep when the
+    /// caller passes the same structural buffers (by pointer identity and
+    /// nnz) as the previous execution — the steady-state repeat caller
+    /// holds its matrices in place and only rewrites values, so the
+    /// O(Σ nnz) re-hash is pure overhead for it.
+    ///
+    /// The check cannot see *in-place structural mutation*: rewriting
+    /// `rowidx` contents inside the same allocation (e.g. sorting
+    /// columns) keeps the pointers and nnz identical while changing the
+    /// structure. Callers that do this must call
+    /// [`PatternCache::invalidate_identity`] (via
+    /// [`crate::SpkAddPlan::invalidate_pattern_identity`]) before the
+    /// next execution; a stale identity hit would return the old print
+    /// and scatter values into the old structure.
+    pub(crate) fn fingerprint<T: Element>(&mut self, mats: &[&CscMatrix<T>]) -> PatternFingerprint {
+        if let Some(fp) = self.identity.fp {
+            if self.identity.ids.len() == mats.len()
+                && mats
+                    .iter()
+                    .zip(&self.identity.ids)
+                    .all(|(a, id)| identity_of(a) == *id)
+            {
+                self.identity_hits += 1;
+                return fp;
+            }
+        }
+        let fp = PatternFingerprint::of(mats);
+        self.identity.ids.clear();
+        self.identity
+            .ids
+            .extend(mats.iter().map(|a| identity_of(a)));
+        self.identity.fp = Some(fp);
+        fp
+    }
+
+    /// Forgets the pointer-identity memo; the next
+    /// [`PatternCache::fingerprint`] re-hashes. Cached structures are
+    /// untouched.
+    pub(crate) fn invalidate_identity(&mut self) {
+        self.identity.ids.clear();
+        self.identity.fp = None;
     }
 
     /// Looks a fingerprint up, counting the hit/miss and refreshing the
@@ -257,9 +332,16 @@ impl PatternCache {
         }
     }
 
-    /// Inserts (or refreshes) a structure, evicting the least-recently
-    /// used entry when at capacity.
-    pub(crate) fn insert(&mut self, fp: PatternFingerprint, colptr: &[usize], rowidx: &[u32]) {
+    /// Inserts (or refreshes) a structure together with the per-chunk
+    /// kernel decisions that materialized it, evicting the
+    /// least-recently used entry when at capacity.
+    pub(crate) fn insert(
+        &mut self,
+        fp: PatternFingerprint,
+        colptr: &[usize],
+        rowidx: &[u32],
+        kernels: &[NumericKernel],
+    ) {
         self.tick += 1;
         if !self.entries.contains_key(&fp) && self.entries.len() >= self.capacity {
             if let Some(oldest) = self
@@ -279,6 +361,7 @@ impl PatternCache {
                 pattern: Arc::new(Pattern {
                     colptr: colptr.to_vec(),
                     rowidx: rowidx.to_vec(),
+                    kernels: Arc::new(kernels.to_vec()),
                 }),
                 last_used: self.tick,
             },
@@ -292,6 +375,7 @@ impl PatternCache {
             misses: self.misses,
             insertions: self.insertions,
             evictions: self.evictions,
+            identity_hits: self.identity_hits,
             entries: self.entries.len(),
             capacity: self.capacity,
         }
@@ -310,6 +394,9 @@ pub struct PatternCacheStats {
     pub insertions: u64,
     /// Entries displaced by the LRU bound.
     pub evictions: u64,
+    /// Fingerprints answered by the pointer-identity fast path (no
+    /// digest sweep ran; a subset of all lookups).
+    pub identity_hits: u64,
     /// Structures currently cached.
     pub entries: usize,
     /// The configured LRU bound.
@@ -392,10 +479,10 @@ mod tests {
             .collect();
         let cp = vec![0usize; 9];
         let ri = vec![0u32; 0];
-        cache.insert(prints[0], &cp, &ri);
-        cache.insert(prints[1], &cp, &ri);
+        cache.insert(prints[0], &cp, &ri, &[]);
+        cache.insert(prints[1], &cp, &ri, &[]);
         assert!(cache.lookup(&prints[0]).is_some(), "refresh 0's recency");
-        cache.insert(prints[2], &cp, &ri); // evicts 1, the LRU entry
+        cache.insert(prints[2], &cp, &ri, &[]); // evicts 1, the LRU entry
         assert!(cache.lookup(&prints[0]).is_some());
         assert!(cache.lookup(&prints[1]).is_none(), "1 was evicted");
         assert!(cache.lookup(&prints[2]).is_some());
@@ -404,5 +491,46 @@ mod tests {
         assert_eq!(s.entries, 2);
         assert_eq!(s.capacity, 2);
         assert_eq!((s.hits, s.misses), (3, 1));
+    }
+
+    #[test]
+    fn identity_fast_path_skips_rehashing_same_buffers() {
+        let a = diag(64, 0);
+        let b = diag(64, 5);
+        let mut cache = PatternCache::new(2);
+        let cold = cache.fingerprint(&[&a, &b]);
+        assert_eq!(cache.stats().identity_hits, 0);
+        // Same buffers again → answered from the memo.
+        let warm = cache.fingerprint(&[&a, &b]);
+        assert_eq!(warm, cold);
+        assert_eq!(cache.stats().identity_hits, 1);
+        // Different order = different buffers in slot 0 → full re-hash.
+        let swapped = cache.fingerprint(&[&b, &a]);
+        assert_ne!(swapped, cold);
+        assert_eq!(cache.stats().identity_hits, 1);
+        // A clone has equal structure but different buffers: no identity
+        // hit, same print.
+        let a2 = a.clone();
+        let b2 = b.clone();
+        // Re-memoize the original pair first, then present the clones.
+        cache.fingerprint(&[&a, &b]);
+        let cloned = cache.fingerprint(&[&a2, &b2]);
+        assert_eq!(cloned, cold);
+        assert_eq!(cache.stats().identity_hits, 1, "clone must miss the memo");
+    }
+
+    #[test]
+    fn invalidate_identity_forces_a_rehash() {
+        let a = diag(64, 0);
+        let mut cache = PatternCache::new(2);
+        let before = cache.fingerprint(&[&a]);
+        cache.invalidate_identity();
+        let after = cache.fingerprint(&[&a]);
+        assert_eq!(before, after, "same structure, same print");
+        assert_eq!(
+            cache.stats().identity_hits,
+            0,
+            "invalidation must force the digest sweep"
+        );
     }
 }

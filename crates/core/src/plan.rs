@@ -28,7 +28,9 @@
 //! assert_eq!(plan.executions(), 3);
 //! ```
 
-use crate::kway::{kway_numeric, kway_numeric_cached, NumericKernel, RecycledBufs};
+use crate::kway::{
+    kway_numeric, kway_numeric_cached, KernelCounts, KernelDispatch, NumericKernel, RecycledBufs,
+};
 use crate::monoid::{Monoid, Plus};
 use crate::parallel::Scheduling;
 use crate::pattern::{
@@ -36,7 +38,7 @@ use crate::pattern::{
 };
 use crate::sliding::budget_entries;
 use crate::symbolic::{symbolic_counts, DriverCtx, SymbolicStrategy};
-use crate::tuning::{choose_algorithm, CacheConfig};
+use crate::tuning::{choose_algorithm, CacheConfig, ChunkScorer};
 use crate::workspace::WorkspacePool;
 use crate::{
     libstyle, numeric_entry_bytes, twoway, Algorithm, ExecuteStats, Options, SpkaddError,
@@ -115,6 +117,16 @@ impl SpkAdd {
     /// Whether executions check input sortedness up front.
     pub fn validate_sorted(mut self, validate: bool) -> Self {
         self.opts.validate_sorted = validate;
+        self
+    }
+
+    /// Whether [`Algorithm::Auto`] dispatches per column chunk (the
+    /// default). `adaptive(false)` forces the old one-global-algorithm
+    /// resolution — the escape hatch for A/B comparisons and for callers
+    /// that want exactly the Fig 2 behavior. Explicit algorithm choices
+    /// are unaffected either way.
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.opts.adaptive = adaptive;
         self
     }
 
@@ -277,6 +289,19 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
         self.cache.as_ref().map(|c| c.stats())
     }
 
+    /// Drops the pattern cache's pointer-identity memo (the fast path
+    /// that skips re-hashing when the same `&[&CscMatrix]` buffers are
+    /// executed again). Call after mutating a previously-executed
+    /// matrix's *structure* in place — same allocations, different
+    /// sparsity — which the identity check cannot distinguish from an
+    /// unchanged collection. Cached structures themselves are untouched;
+    /// the next execution simply re-hashes. No-op without a cache.
+    pub fn invalidate_pattern_identity(&mut self) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.invalidate_identity();
+        }
+    }
+
     /// Adds the collection, returning a fresh output matrix.
     pub fn execute(&mut self, mats: &[&CscMatrix<T>]) -> Result<CscMatrix<T>, SpkaddError> {
         self.run(mats, RecycledBufs::default()).map(|(out, _)| out)
@@ -423,7 +448,7 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
             outcome = PatternOutcome::Bypassed;
             if kernel.is_some() && !O::MAY_FILTER {
                 let t = std::time::Instant::now();
-                let fp = PatternFingerprint::of(mats);
+                let fp = cache.fingerprint(mats);
                 match cache.lookup(&fp) {
                     Some(pattern) => {
                         outcome = PatternOutcome::Hit;
@@ -437,6 +462,34 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
                 fingerprint_secs = t.elapsed().as_secs_f64();
             }
         }
+
+        // Per-partition adaptive dispatch (the SPADA-style move): only
+        // `Auto` is adaptive — an explicit algorithm is a contract — and
+        // only when resolution landed on the k-way family (a k ≤ 2
+        // collection stays a single pairwise merge). The scorer never
+        // offers the heap unless sortedness was actually verified this
+        // execution.
+        let scorer = ChunkScorer {
+            rows: self.shape.0,
+            entry_bytes: numeric_entry_bytes::<T>(),
+            threads: self.workers,
+            llc_bytes: self.opts.cache.llc_bytes,
+            heap_allowed: self.opts.validate_sorted && inputs_sorted,
+        };
+        let adaptive = self.algorithm == Algorithm::Auto && self.opts.adaptive;
+        let dispatch = kernel.map(|kern| {
+            if !adaptive {
+                return KernelDispatch::Fixed(kern);
+            }
+            match hit.as_ref() {
+                // Warm hits replay the memoized decisions — no rescoring.
+                Some(pattern) => KernelDispatch::Memoized {
+                    decisions: Arc::clone(&pattern.kernels),
+                    scorer,
+                },
+                None => KernelDispatch::Adaptive(scorer),
+            }
+        });
 
         let ctx = DriverCtx {
             sched: self.opts.scheduling,
@@ -453,10 +506,12 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
         let body = move || {
             let t0 = std::time::Instant::now();
             if let Some(pattern) = hit_pattern.as_deref() {
-                let out = kway_numeric_cached(
+                let (out, decisions) = kway_numeric_cached(
                     mats,
                     pattern,
-                    kernel.expect("hits only occur on the k-way path"),
+                    dispatch
+                        .as_ref()
+                        .expect("hits only occur on the k-way path"),
                     monoid,
                     &ctx,
                     pool,
@@ -469,6 +524,7 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
                         symbolic_skipped: true,
                         ..ExecuteStats::default()
                     },
+                    decisions,
                 );
             }
             match alg {
@@ -479,6 +535,7 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
                         numeric: t0.elapsed().as_secs_f64(),
                         ..ExecuteStats::default()
                     },
+                    Vec::new(),
                 ),
                 Algorithm::TwoWayTree => (
                     twoway::spkadd_tree_with(mats, 0, sched, monoid),
@@ -486,6 +543,7 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
                         numeric: t0.elapsed().as_secs_f64(),
                         ..ExecuteStats::default()
                     },
+                    Vec::new(),
                 ),
                 Algorithm::LibIncremental => (
                     libstyle::lib_incremental_with(mats, monoid),
@@ -493,6 +551,7 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
                         numeric: t0.elapsed().as_secs_f64(),
                         ..ExecuteStats::default()
                     },
+                    Vec::new(),
                 ),
                 Algorithm::LibTree => (
                     libstyle::lib_tree_with(mats, monoid),
@@ -500,6 +559,7 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
                         numeric: t0.elapsed().as_secs_f64(),
                         ..ExecuteStats::default()
                     },
+                    Vec::new(),
                 ),
                 Algorithm::Heap
                 | Algorithm::Spa
@@ -518,10 +578,12 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
                     let counts = symbolic_counts(mats, strategy, &ctx, pool);
                     let symbolic_secs = t0.elapsed().as_secs_f64();
                     let exact = strategy != SymbolicStrategy::UpperBound;
-                    let kernel = kernel.expect("k-way algorithms map to a kernel");
+                    let dispatch = dispatch
+                        .as_ref()
+                        .expect("k-way algorithms map to a dispatch");
                     let t1 = std::time::Instant::now();
-                    let out =
-                        kway_numeric(mats, &counts, exact, kernel, monoid, &ctx, pool, recycle);
+                    let (out, decisions) =
+                        kway_numeric(mats, &counts, exact, dispatch, monoid, &ctx, pool, recycle);
                     (
                         out,
                         ExecuteStats {
@@ -529,27 +591,32 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
                             numeric: t1.elapsed().as_secs_f64(),
                             ..ExecuteStats::default()
                         },
+                        decisions,
                     )
                 }
             }
         };
-        let (out, mut stats) = match &self.thread_pool {
+        let (out, mut stats, decisions) = match &self.thread_pool {
             Some(tp) => tp.install(body),
             None => body(),
         };
         if let Some(fp) = insert_on_miss {
             // Capture the cold result's structure — post-compaction, so
-            // exact even when the symbolic strategy was `UpperBound`.
+            // exact even when the symbolic strategy was `UpperBound` —
+            // together with the per-chunk kernel decisions, so warm hits
+            // skip scoring as well as symbolic.
             let t = std::time::Instant::now();
             self.cache.as_mut().expect("miss implies a cache").insert(
                 fp,
                 out.colptr(),
                 out.rowidx(),
+                &decisions,
             );
             fingerprint_secs += t.elapsed().as_secs_f64();
         }
         stats.fingerprint = fingerprint_secs;
         stats.pattern = outcome;
+        stats.kernel_counts = KernelCounts::from_decisions(&decisions);
         self.executions += 1;
         Ok((out, stats))
     }

@@ -10,6 +10,7 @@
 //! O(batch · max nnz + nnz(total)) instead of O(Σ nnz), at the cost of
 //! one extra 2-way pass per batch.
 
+use crate::kway::KernelCounts;
 use crate::monoid::{Monoid, Plus};
 use crate::parallel::Scheduling;
 use crate::pattern::PatternCacheStats;
@@ -81,6 +82,8 @@ pub struct StreamingAccumulator<T: Element, O: Monoid<Value = T> = Plus<T>> {
     total: Option<CscMatrix<T>>,
     batches_flushed: usize,
     matrices_seen: usize,
+    /// Aggregated per-chunk kernel histogram across all flushes.
+    kernel_counts: KernelCounts,
 }
 
 impl<T: Scalar> StreamingAccumulator<T> {
@@ -160,6 +163,7 @@ impl<T: Element, O: Monoid<Value = T>> StreamingAccumulator<T, O> {
             total: None,
             batches_flushed: 0,
             matrices_seen: 0,
+            kernel_counts: KernelCounts::default(),
         }
     }
 
@@ -223,6 +227,14 @@ impl<T: Element, O: Monoid<Value = T>> StreamingAccumulator<T, O> {
         self.plan.as_ref().and_then(|p| p.pattern_stats())
     }
 
+    /// Aggregated kernel histogram across every flush so far: how many
+    /// column chunks each numeric kernel materialized. Empty until the
+    /// first flush; stays single-kernel for explicit algorithms and
+    /// mixes under adaptive [`Algorithm::Auto`].
+    pub fn kernel_counts(&self) -> KernelCounts {
+        self.kernel_counts
+    }
+
     /// Reduces the pending batch into the running total now, through the
     /// retained plan (built on first use).
     pub fn flush(&mut self) -> Result<(), SpkaddError> {
@@ -240,7 +252,8 @@ impl<T: Element, O: Monoid<Value = T>> StreamingAccumulator<T, O> {
             }
         };
         let refs: Vec<&CscMatrix<T>> = self.pending.iter().collect();
-        let batch_sum = plan.execute(&refs)?;
+        let (batch_sum, stats) = plan.execute_timed(&refs)?;
+        self.kernel_counts.merge(&stats.kernel_counts);
         self.pending.clear();
         self.pending_nnz = 0;
         self.batches_flushed += 1;

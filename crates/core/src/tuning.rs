@@ -10,7 +10,17 @@
 //! [`choose_algorithm`] encodes the empirical decision surface of Fig 2:
 //! hash everywhere, sliding hash once the aggregate tables outgrow the
 //! LLC, and 2-way tree for trivially small collections.
+//!
+//! [`ChunkScorer`] re-derives that surface at *partition* granularity:
+//! once the symbolic phase has fixed the output `colptr`, every
+//! weight-balanced column chunk carries its local density, effective k,
+//! and compression ratio for free, and the adaptive driver
+//! ([`Algorithm::Auto`] on a plan with `adaptive` enabled) scores each
+//! chunk independently instead of committing the whole collection to one
+//! kernel.
 
+use crate::hashtab::table_size_for;
+use crate::kway::NumericKernel;
 use crate::Algorithm;
 
 /// Cache-hierarchy parameters used by the sliding-hash algorithms.
@@ -127,6 +137,115 @@ pub fn choose_algorithm(
     }
 }
 
+/// A column chunk counts as "dense" when its average output column holds
+/// at least `rows / SPA_DENSE_FRACTION` entries — at that fill the SPA's
+/// O(rows) panel sweep costs at most a small constant per output entry
+/// and beats hashing (Fig 2's dense corner, where SPA and hash converge).
+pub const SPA_DENSE_FRACTION: usize = 8;
+
+/// Shape summary of one weight-balanced column chunk, computed from data
+/// the symbolic phase already produced: the output `colptr` gives
+/// `nnz_out` and the input `colptr`s give `nnz_in` / `k_eff` in O(k) per
+/// chunk — no per-entry work, which is what makes per-partition scoring
+/// effectively free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkProfile {
+    /// Columns in the chunk.
+    pub cols: usize,
+    /// Collection size (matrices in the addition).
+    pub k: usize,
+    /// Matrices with at least one nonzero inside the chunk's column
+    /// range — the k that the merge actually sees.
+    pub k_eff: usize,
+    /// Input nonzeros falling in the chunk.
+    pub nnz_in: usize,
+    /// Output nonzeros the chunk will produce (exact or upper bound,
+    /// straight from the output `colptr`).
+    pub nnz_out: usize,
+}
+
+impl ChunkProfile {
+    /// Average output entries per column, rounded up (≥ 1 for any
+    /// nonempty chunk).
+    pub fn avg_out_col_nnz(&self) -> usize {
+        if self.cols == 0 {
+            0
+        } else {
+            self.nnz_out.div_ceil(self.cols)
+        }
+    }
+}
+
+/// The Fig 2 decision surface evaluated per column chunk instead of once
+/// per collection ([`choose_algorithm`]'s partition-granularity twin).
+///
+/// Built once per execution from the machine model and resolved worker
+/// count; [`ChunkScorer::choose`] is a pure function of the chunk profile
+/// so the surface is unit-testable and the cache-simulator experiment can
+/// replay it offline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkScorer {
+    /// Output row count (the SPA panel height).
+    pub rows: usize,
+    /// Numeric hash-entry bytes (`4 + sizeof(T)`, the paper's `b`).
+    pub entry_bytes: usize,
+    /// Workers sharing the LLC.
+    pub threads: usize,
+    /// Last-level cache capacity — `M` in Algorithms 7/8.
+    pub llc_bytes: usize,
+    /// Whether the heap kernel may be chosen: it requires sorted inputs,
+    /// so the plan only sets this when sortedness was actually verified
+    /// (never on an unchecked caller promise — same conservatism as the
+    /// `Auto` resolver).
+    pub heap_allowed: bool,
+}
+
+impl ChunkScorer {
+    /// Picks the numeric kernel for one chunk.
+    ///
+    /// The surface, in priority order:
+    /// 1. **Heap** for effectively-pairwise chunks (`k_eff ≤ 2`) and for
+    ///    near-disjoint narrow merges (`k_eff ≤ 4` with < 25% duplicate
+    ///    compression): the O(k)-state streaming merge needs no table at
+    ///    all, and with few inputs its `lg k` factor is ~1.
+    /// 2. **SPA / SlidingSpa** for dense chunks (average output column ≥
+    ///    `rows` / [`SPA_DENSE_FRACTION`]): the dense-panel sweep is
+    ///    branch-free at that fill; it slides when the aggregate panels
+    ///    outgrow the LLC.
+    /// 3. **Hash / SlidingHash** otherwise — exactly Fig 2, with the
+    ///    chunk's local average column size in place of the global one.
+    pub fn choose(&self, p: &ChunkProfile) -> NumericKernel {
+        if p.nnz_out == 0 || p.cols == 0 {
+            // Nothing to materialize; hash is the cheapest no-op.
+            return NumericKernel::Hash;
+        }
+        if self.heap_allowed
+            && (p.k_eff <= 2 || (p.k_eff <= 4 && p.nnz_in <= p.nnz_out + p.nnz_out / 4))
+        {
+            return NumericKernel::Heap;
+        }
+        let avg_out = p.avg_out_col_nnz();
+        let threads = self.threads.max(1);
+        if avg_out.saturating_mul(SPA_DENSE_FRACTION) >= self.rows && self.rows > 0 {
+            let panel_bytes = self
+                .rows
+                .saturating_mul(self.entry_bytes)
+                .saturating_mul(threads);
+            return if panel_bytes > self.llc_bytes {
+                NumericKernel::SlidingSpa
+            } else {
+                NumericKernel::Spa
+            };
+        }
+        let table_bytes = table_size_for(avg_out).saturating_mul(self.entry_bytes);
+        if table_bytes.saturating_mul(threads) > self.llc_bytes {
+            NumericKernel::SlidingHash
+        } else {
+            NumericKernel::Hash
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +271,90 @@ mod tests {
         assert_eq!(CacheConfig::skylake().llc_bytes, 32 << 20);
         assert_eq!(CacheConfig::epyc().llc_bytes, 8 << 20);
         assert_eq!(CacheConfig::knl().llc_bytes, 34 << 20);
+    }
+
+    fn scorer(rows: usize, llc: usize, heap_allowed: bool) -> ChunkScorer {
+        ChunkScorer {
+            rows,
+            entry_bytes: 12,
+            threads: 4,
+            llc_bytes: llc,
+            heap_allowed,
+        }
+    }
+
+    fn profile(cols: usize, k_eff: usize, nnz_in: usize, nnz_out: usize) -> ChunkProfile {
+        ChunkProfile {
+            cols,
+            k: 8,
+            k_eff,
+            nnz_in,
+            nnz_out,
+        }
+    }
+
+    #[test]
+    fn chunk_scorer_mirrors_figure_2() {
+        // Tall output (2²⁷ rows) so even 1 M-entry columns stay "sparse"
+        // relative to the row count — the hash/sliding axis, not SPA's.
+        let s = scorer(1 << 27, 32 << 20, false);
+        // Sparse chunk, small per-column tables → hash.
+        assert_eq!(s.choose(&profile(64, 8, 4096, 1024)), NumericKernel::Hash);
+        // Huge output columns → aggregate tables spill the LLC → sliding.
+        // 1 M entries/col → ≥ 2²⁰ table slots · 12 B · 4 threads ≈ 100 MB.
+        assert_eq!(
+            s.choose(&profile(4, 8, 1 << 23, 1 << 22)),
+            NumericKernel::SlidingHash
+        );
+        // Same shape, one thread and a large LLC → hash again.
+        let roomy = ChunkScorer {
+            threads: 1,
+            llc_bytes: 1 << 30,
+            ..s
+        };
+        assert_eq!(
+            roomy.choose(&profile(4, 8, 1 << 23, 1 << 22)),
+            NumericKernel::Hash
+        );
+    }
+
+    #[test]
+    fn chunk_scorer_dense_chunks_pick_the_spa_family() {
+        // 1024 rows, avg output column 512 ≥ 1024/8 → dense → SPA.
+        let s = scorer(1024, 32 << 20, false);
+        assert_eq!(s.choose(&profile(8, 8, 8192, 4096)), NumericKernel::Spa);
+        // Same density with panels that outgrow a tiny LLC → sliding SPA:
+        // 1024 rows · 12 B · 4 threads = 48 KB > 16 KB.
+        let tiny = scorer(1024, 16 << 10, false);
+        assert_eq!(
+            tiny.choose(&profile(8, 8, 8192, 4096)),
+            NumericKernel::SlidingSpa
+        );
+    }
+
+    #[test]
+    fn chunk_scorer_heap_needs_sorted_inputs_and_low_k_eff() {
+        let s = scorer(1 << 20, 32 << 20, true);
+        // Effectively pairwise → heap.
+        assert_eq!(s.choose(&profile(64, 2, 2048, 2000)), NumericKernel::Heap);
+        // Narrow and nearly disjoint (no compression) → heap.
+        assert_eq!(s.choose(&profile(64, 4, 2100, 2048)), NumericKernel::Heap);
+        // Narrow but heavily overlapping → the merge does k× the output
+        // work; hash wins.
+        assert_eq!(s.choose(&profile(64, 4, 8192, 2048)), NumericKernel::Hash);
+        // Unverified sortedness never selects the heap.
+        let unsorted = scorer(1 << 20, 32 << 20, false);
+        assert_eq!(
+            unsorted.choose(&profile(64, 2, 2048, 2000)),
+            NumericKernel::Hash
+        );
+    }
+
+    #[test]
+    fn chunk_scorer_empty_chunk_is_a_hash_no_op() {
+        let s = scorer(1 << 20, 32 << 20, true);
+        assert_eq!(s.choose(&profile(16, 0, 0, 0)), NumericKernel::Hash);
+        assert_eq!(s.choose(&profile(0, 0, 0, 0)), NumericKernel::Hash);
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //! thread; the drivers lock the slot matching their rayon worker index,
 //! exactly as the old driver-local pools did (§III-A: thread-private
 //! accumulators, shared nothing).
+//!
+//! Under adaptive dispatch (`Algorithm::Auto` with per-chunk scoring) a
+//! single execution may exercise **several kernel families** from the
+//! same pool: a worker that draws a SPA chunk and then a hash chunk
+//! lazily materializes both components in its one workspace. That is by
+//! design — the components are independent fields, so mixing kernels
+//! costs each family's one-time build and nothing more, and a steady
+//! shape still reaches the zero-allocation regime even when every
+//! execution mixes.
 
 use crate::hashtab::{HashAccumulator, SymbolicHashTable};
 use crate::heap::KwayHeap;

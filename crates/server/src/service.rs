@@ -21,8 +21,8 @@ use crate::ServerError;
 use spk_sparse::{CscMatrix, Element, Scalar, SparseError};
 use spkadd::sliding::budget_entries;
 use spkadd::{
-    numeric_entry_bytes, Algorithm, FlushPolicy, Monoid, Options, Plus, SpkaddError,
-    StreamingAccumulator,
+    numeric_entry_bytes, Algorithm, FlushPolicy, KernelCounts, Monoid, NumericKernel, Options,
+    Plus, SpkaddError, StreamingAccumulator,
 };
 use std::collections::HashMap;
 use std::ops::Range;
@@ -133,6 +133,9 @@ struct ShardCounters {
     batches_flushed: AtomicU64,
     pattern_hits: AtomicU64,
     pattern_misses: AtomicU64,
+    /// Chunks dispatched per numeric kernel, indexed in
+    /// [`NumericKernel::ALL`] order.
+    kernels: [AtomicU64; NumericKernel::COUNT],
 }
 
 /// Point-in-time counters for one shard.
@@ -150,6 +153,11 @@ pub struct ShardMetrics {
     /// Batch reductions that fingerprinted their inputs but found no
     /// cached structure.
     pub pattern_misses: u64,
+    /// Histogram of numeric kernels the shard's flushes dispatched, one
+    /// count per column chunk. Single-kernel for an explicit
+    /// [`ServiceConfig::algorithm`]; mixes under adaptive
+    /// [`Algorithm::Auto`].
+    pub kernel_counts: KernelCounts,
 }
 
 /// Point-in-time counters for the whole service.
@@ -180,6 +188,16 @@ impl ServiceMetrics {
     /// Total pattern-cache misses (cold flushes that captured structure).
     pub fn pattern_misses(&self) -> u64 {
         self.shards.iter().map(|s| s.pattern_misses).sum()
+    }
+
+    /// Service-wide kernel histogram: every shard's per-chunk dispatch
+    /// counts merged.
+    pub fn kernel_counts(&self) -> KernelCounts {
+        let mut total = KernelCounts::default();
+        for s in &self.shards {
+            total.merge(&s.kernel_counts);
+        }
+        total
     }
 }
 
@@ -484,12 +502,19 @@ impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
                 .counters
                 .iter()
                 .enumerate()
-                .map(|(s, c)| ShardMetrics {
-                    rows: self.plan.range(s),
-                    slices: c.slices.load(Ordering::Relaxed),
-                    batches_flushed: c.batches_flushed.load(Ordering::Relaxed),
-                    pattern_hits: c.pattern_hits.load(Ordering::Relaxed),
-                    pattern_misses: c.pattern_misses.load(Ordering::Relaxed),
+                .map(|(s, c)| {
+                    let mut kernel_counts = KernelCounts::default();
+                    for (slot, kern) in c.kernels.iter().zip(NumericKernel::ALL) {
+                        kernel_counts.add(kern, slot.load(Ordering::Relaxed));
+                    }
+                    ShardMetrics {
+                        rows: self.plan.range(s),
+                        slices: c.slices.load(Ordering::Relaxed),
+                        batches_flushed: c.batches_flushed.load(Ordering::Relaxed),
+                        pattern_hits: c.pattern_hits.load(Ordering::Relaxed),
+                        pattern_misses: c.pattern_misses.load(Ordering::Relaxed),
+                        kernel_counts,
+                    }
                 })
                 .collect(),
         }
@@ -531,6 +556,10 @@ struct KeyState<T: Element, O: Monoid<Value = T>> {
     /// Pattern-cache counts already folded into the shard counters, so
     /// each flush's hits/misses are published exactly once.
     pattern_seen: (u64, u64),
+    /// Kernel histogram already folded into the shard counters; deltas
+    /// against the accumulator's running histogram are published after
+    /// every flush.
+    kernels_seen: KernelCounts,
 }
 
 /// Publishes the accumulator's pattern-cache activity since the last
@@ -550,6 +579,23 @@ fn sync_pattern_counters<T: Element, O: Monoid<Value = T>>(
         }
         *seen = (stats.hits, stats.misses);
     }
+}
+
+/// Publishes the accumulator's kernel-dispatch activity since the last
+/// sync to the shard counters.
+fn sync_kernel_counters<T: Element, O: Monoid<Value = T>>(
+    acc: &StreamingAccumulator<T, O>,
+    seen: &mut KernelCounts,
+    counters: &ShardCounters,
+) {
+    let now = acc.kernel_counts();
+    for (slot, kern) in counters.kernels.iter().zip(NumericKernel::ALL) {
+        let delta = now.get(kern) - seen.get(kern);
+        if delta > 0 {
+            slot.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+    *seen = now;
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -582,6 +628,7 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
                     ),
                     error: None,
                     pattern_seen: (0, 0),
+                    kernels_seen: KernelCounts::default(),
                 });
                 if state.error.is_none() {
                     let before = state.acc.batches_flushed();
@@ -594,6 +641,7 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
                             .batches_flushed
                             .fetch_add(flushed as u64, Ordering::Relaxed);
                         sync_pattern_counters(&state.acc, &mut state.pattern_seen, &counters);
+                        sync_kernel_counters(&state.acc, &mut state.kernels_seen, &counters);
                     }
                 }
             }
@@ -605,6 +653,7 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
                         mut acc,
                         error: None,
                         mut pattern_seen,
+                        mut kernels_seen,
                     }) => {
                         // Flush the tail batch explicitly so its
                         // pattern-cache activity is still observable
@@ -617,6 +666,7 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
                                     counters.batches_flushed.fetch_add(1, Ordering::Relaxed);
                                     sync_pattern_counters(&acc, &mut pattern_seen, &counters);
                                 }
+                                sync_kernel_counters(&acc, &mut kernels_seen, &counters);
                                 match acc.finish() {
                                     Ok(partial) => {
                                         let counts = partial.col_nnz_counts();
@@ -836,6 +886,32 @@ mod tests {
         // 4 flushes per shard: one cold miss, then steady hits.
         assert_eq!(metrics.pattern_misses(), 2, "one cold flush per shard");
         assert_eq!(metrics.pattern_hits(), 6, "3 warm flushes per shard");
+    }
+
+    #[test]
+    fn kernel_histogram_counts_flush_chunks() {
+        // Explicit Hash algorithm: every k-way flush chunk must land in
+        // the hash bucket and nowhere else, and the counts must survive
+        // aggregation across shards.
+        let config = ServiceConfig::with_shards(2).with_flush(FlushPolicy::Matrices(2));
+        let mats: Vec<CscMatrix<f64>> = (0..8).map(|i| shifted_diag(16, i % 5)).collect();
+        let svc = AggregatorService::new(16, 16, config);
+        for m in &mats {
+            svc.submit("job", m).unwrap();
+        }
+        // Finalize synchronizes with the workers, so the histogram is
+        // final when read.
+        svc.finalize("job").unwrap();
+        let kc = svc.metrics().kernel_counts();
+        assert!(
+            kc.get(NumericKernel::Hash) > 0,
+            "warm flushes (batch + running total = 3-way) must dispatch hash chunks"
+        );
+        assert_eq!(
+            kc.total(),
+            kc.get(NumericKernel::Hash),
+            "an explicit algorithm never mixes kernels"
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ spkadd-cli — SpKAdd over Matrix Market files
 
 USAGE:
   spkadd-cli add  [--algorithm NAME] [--out FILE] [--unsorted]
-                  [--pattern-cache N] [--repeat N] FILES...
+                  [--no-adaptive] [--pattern-cache N] [--repeat N] FILES...
   spkadd-cli stats FILES...
   spkadd-cli gen  [--pattern er|rmat] [--rows R] [--cols C] [--d D] [--k K]
                   [--seed S] --out-dir DIR
@@ -63,7 +63,9 @@ USAGE:
 Algorithms: hash (default), sliding-hash, spa, sliding-spa, heap,
             2way-tree, 2way-incremental, lib-tree, lib-incremental, auto
             ('auto' picks per collection — per flushed batch under
-            serve-demo — with the paper's Fig 2 decision surface)";
+            serve-demo — with the paper's Fig 2 decision surface, then
+            re-scores every column chunk; --no-adaptive pins the
+            collection-level choice for all chunks)";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.windows(2)
@@ -82,7 +84,7 @@ fn positional(args: &[String]) -> Vec<&String> {
         }
         if a.starts_with("--") {
             // Flags with values; bare flags are enumerated explicitly.
-            skip = !matches!(a.as_str(), "--unsorted");
+            skip = !matches!(a.as_str(), "--unsorted" | "--no-adaptive");
             let _ = i;
             continue;
         }
@@ -133,6 +135,7 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
         .map_err(|e: spkadd_suite::kadd::SpkaddError| e.to_string())?;
     let out = flag_value(args, "--out");
     let unsorted = args.iter().any(|a| a == "--unsorted");
+    let no_adaptive = args.iter().any(|a| a == "--no-adaptive");
     let cache_cap: usize = parsed_flag(args, "--pattern-cache", 0)?;
     let repeat: usize = parsed_flag(args, "--repeat", 1)?.max(1);
     let mats = load_all(&positional(args))?;
@@ -141,6 +144,7 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
 
     let mut plan = SpkAdd::new(nrows, ncols)
         .algorithm(alg)
+        .adaptive(!no_adaptive)
         .sorted_output(!unsorted)
         .pattern_cache(cache_cap)
         .build()
@@ -175,6 +179,9 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
         sum.nnz(),
         total as f64 / sum.nnz().max(1) as f64
     );
+    if alg == Algorithm::Auto {
+        eprintln!("kernels: {}", stats.kernel_counts);
+    }
     match out {
         Some(path) => io::write_matrix_market(path, &sum).map_err(|e| e.to_string())?,
         None => {
@@ -308,6 +315,10 @@ fn cmd_serve_demo(args: &[String]) -> Result<(), String> {
         m.batches_flushed(),
         output_nnz
     );
+    let kernels = m.kernel_counts();
+    if !kernels.is_empty() {
+        println!("kernels: {kernels}");
+    }
     for s in &m.shards {
         println!(
             "  shard rows {:>7}..{:<7} | {:>5} slices | {:>4} flushes",
