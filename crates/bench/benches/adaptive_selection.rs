@@ -17,7 +17,8 @@
 //! five forced k-way kernels. The summary reports adaptive vs the best
 //! forced/pinned time and the kernel histogram the adaptive run
 //! produced; on the skewed workload the histogram must name ≥ 2
-//! kernels. Emits a human table plus machine JSON to `--out` (default
+//! kernels. Emits a human table plus a machine-readable
+//! `spk_obs.run_report.v1` JSON report to `--out` (default
 //! `BENCH_adaptive.json`, the checked-in baseline path).
 //!
 //! Usage: `cargo bench -p spk_bench --bench adaptive_selection --
@@ -25,6 +26,7 @@
 
 use spk_bench::{print_table, refs, Args};
 use spk_gen::{generate_collection, Pattern};
+use spk_obs::{Json, RunReport};
 use spk_sparse::CscMatrix;
 use spkadd::{Algorithm, CacheConfig, KernelCounts, SpkAdd};
 
@@ -35,45 +37,6 @@ struct Row {
     kernels: String,
     distinct: usize,
     throughput: f64,
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn emit_json(path: &str, cfg: &[(&str, String)], rows: &[Row], summary: &[(String, String)]) {
-    let mut out = String::from("{\n  \"bench\": \"adaptive_selection\",\n  \"config\": {");
-    for (i, (k, v)) in cfg.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        out.push_str(&format!("\"{k}\": {v}"));
-    }
-    out.push_str("},\n  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"secs\": {:.6}, \
-             \"kernels\": \"{}\", \"distinct_kernels\": {}, \
-             \"throughput\": {:.1}, \"unit\": \"input_nnz_per_s\"}}{}\n",
-            r.workload,
-            json_escape(&r.mode),
-            r.secs,
-            json_escape(&r.kernels),
-            r.distinct,
-            r.throughput,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ],\n  \"summary\": {");
-    for (i, (k, v)) in summary.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        out.push_str(&format!("\"{k}\": {v}"));
-    }
-    out.push_str("}\n}\n");
-    std::fs::write(path, out).expect("writing benchmark JSON failed");
-    eprintln!("wrote {path}");
 }
 
 /// A skewed collection whose column regions differ in *both* density
@@ -152,7 +115,7 @@ fn main() {
     let skewed = skewed_collection(m, 2, m / 16, 12, 32766, 8, 4, 42);
 
     let mut rows_out: Vec<Row> = Vec::new();
-    let mut summary: Vec<(String, String)> = Vec::new();
+    let mut summary: Vec<(String, Json)> = Vec::new();
 
     for (workload, mats) in [("uniform", &uniform), ("skewed", &skewed)] {
         let mrefs = refs(mats);
@@ -237,27 +200,27 @@ fn main() {
         );
         summary.push((
             format!("{workload}_adaptive_secs"),
-            format!("{adaptive_secs:.6}"),
+            Json::from(adaptive_secs),
         ));
         summary.push((
             format!("{workload}_best_global_mode"),
-            format!("\"{}\"", json_escape(&best_global.0)),
+            Json::from(best_global.0.as_str()),
         ));
         summary.push((
             format!("{workload}_best_global_secs"),
-            format!("{:.6}", best_global.1),
+            Json::from(best_global.1),
         ));
         summary.push((
             format!("{workload}_adaptive_over_best_global"),
-            format!("{ratio:.4}"),
+            Json::from(ratio),
         ));
         summary.push((
             format!("{workload}_adaptive_kernels"),
-            format!("\"{}\"", json_escape(&format!("{adaptive_counts}"))),
+            Json::from(format!("{adaptive_counts}")),
         ));
         summary.push((
             format!("{workload}_adaptive_distinct_kernels"),
-            format!("{}", adaptive_counts.distinct()),
+            Json::from(adaptive_counts.distinct()),
         ));
     }
 
@@ -279,12 +242,31 @@ fn main() {
     }
     print_table(&table);
 
-    let cfg = [
-        ("rows", m.to_string()),
-        ("k", k.to_string()),
-        ("threads", threads.to_string()),
-        ("reps", reps.to_string()),
-        ("llc_bytes", cache.llc_bytes.to_string()),
-    ];
-    emit_json(&out_path, &cfg, &rows_out, &summary);
+    let mut report = RunReport::new("adaptive_selection");
+    report
+        .threads(threads)
+        .config("rows", m)
+        .config("k", k)
+        .config("threads", threads)
+        .config("reps", reps)
+        .config("llc_bytes", cache.llc_bytes);
+    for r in &rows_out {
+        report.result(
+            spk_obs::Row::new()
+                .with("workload", r.workload)
+                .with("mode", r.mode.as_str())
+                .with("secs", r.secs)
+                .with("kernels", r.kernels.as_str())
+                .with("distinct_kernels", r.distinct)
+                .with("throughput", r.throughput)
+                .with("unit", "input_nnz_per_s"),
+        );
+    }
+    for (key, value) in summary {
+        report.summary(&key, value);
+    }
+    report
+        .write_json_file(&out_path)
+        .expect("writing benchmark JSON failed");
+    eprintln!("wrote {out_path}");
 }

@@ -16,8 +16,9 @@
 //!   on the shard metrics) without regressing throughput. The
 //!   flush-level win itself is what `plan` and `stream` isolate.
 //!
-//! Emits a human table on stdout plus machine-readable JSON (config +
-//! per-result phase timings and throughput, SNIPPETS.md report idiom) to
+//! Emits a human table on stdout plus a machine-readable
+//! `spk_obs.run_report.v1` JSON report (config + per-result phase
+//! timings and throughput, keeping the historical result keys) to
 //! `--out` (default `BENCH_pattern_cache.json`, the checked-in baseline
 //! path).
 //!
@@ -26,6 +27,7 @@
 
 use spk_bench::{print_table, refs, Args};
 use spk_gen::{generate_collection, Pattern};
+use spk_obs::RunReport;
 use spk_server::{AggregatorService, ServiceConfig};
 use spk_sparse::CscMatrix;
 use spkadd::{
@@ -43,43 +45,24 @@ struct Row {
     unit: &'static str,
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn emit_json(path: &str, cfg: &[(&str, String)], rows: &[Row]) {
-    let mut out = String::from("{\n  \"bench\": \"pattern_cache\",\n  \"config\": {");
-    for (i, (k, v)) in cfg.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
+impl Row {
+    /// The row in report form, keeping the historical key set and order.
+    fn to_report_row(&self) -> spk_obs::Row {
+        let mut row = spk_obs::Row::new()
+            .with("group", self.group)
+            .with("case", self.case.as_str())
+            .with("mode", self.mode)
+            .with("secs", self.secs);
+        if let Some(s) = &self.stats {
+            row = row
+                .with("symbolic_secs", s.symbolic)
+                .with("numeric_secs", s.numeric)
+                .with("fingerprint_secs", s.fingerprint)
+                .with("symbolic_skipped", s.symbolic_skipped);
         }
-        out.push_str(&format!("\"{k}\": {v}"));
+        row.with("throughput", self.throughput)
+            .with("unit", self.unit)
     }
-    out.push_str("},\n  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let phases = match &r.stats {
-            Some(s) => format!(
-                ", \"symbolic_secs\": {:.6}, \"numeric_secs\": {:.6}, \
-                 \"fingerprint_secs\": {:.6}, \"symbolic_skipped\": {}",
-                s.symbolic, s.numeric, s.fingerprint, s.symbolic_skipped
-            ),
-            None => String::new(),
-        };
-        out.push_str(&format!(
-            "    {{\"group\": \"{}\", \"case\": \"{}\", \"mode\": \"{}\", \
-             \"secs\": {:.6}{phases}, \"throughput\": {:.1}, \"unit\": \"{}\"}}{}\n",
-            r.group,
-            json_escape(&r.case),
-            r.mode,
-            r.secs,
-            r.throughput,
-            r.unit,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out).expect("writing benchmark JSON failed");
-    eprintln!("wrote {path}");
 }
 
 /// Rescales every value — new numerics, identical sparsity, so warm
@@ -316,13 +299,20 @@ fn main() {
         }
     }
 
-    let cfg = [
-        ("rows", m.to_string()),
-        ("cols", n.to_string()),
-        ("nnz_per_col", d.to_string()),
-        ("k", k.to_string()),
-        ("reps", reps.to_string()),
-        ("total_input_nnz", total_nnz.to_string()),
-    ];
-    emit_json(&out_path, &cfg, &rows);
+    let mut report = RunReport::new("pattern_cache");
+    report
+        .threads(1)
+        .config("rows", m)
+        .config("cols", n)
+        .config("nnz_per_col", d)
+        .config("k", k)
+        .config("reps", reps)
+        .config("total_input_nnz", total_nnz);
+    for r in &rows {
+        report.result(r.to_report_row());
+    }
+    report
+        .write_json_file(&out_path)
+        .expect("writing benchmark JSON failed");
+    eprintln!("wrote {out_path}");
 }

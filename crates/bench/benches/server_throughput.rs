@@ -9,13 +9,24 @@
 //! through it from several producer threads (so the submit path itself
 //! is contended, as in production) under a fresh key, finalizes, and
 //! checks the result is non-trivial. Throughput is reported in matrices
-//! per second; on a multi-core machine it grows with the shard count
-//! until the producers become the bottleneck. (On a single-core runner
-//! the curve is flat-to-declining — the shards have no extra hardware
-//! to run on and the per-shard slicing overhead still accrues.)
+//! per second; each shard-count row also carries its parallel efficiency
+//! against the 1-shard run of the same stream (`t1 / (S * tS) * 100`).
+//! On a multi-core machine throughput grows with the shard count until
+//! the producers become the bottleneck. (On a single-core runner the
+//! curve is flat-to-declining — the shards have no extra hardware to run
+//! on and the per-shard slicing overhead still accrues — which is why
+//! the report keeps the `cores` field and single-core caveat.)
+//!
+//! Emits a human table on stdout plus a machine-readable
+//! `spk_obs.run_report.v1` JSON report to `--out` (default
+//! `BENCH_server_throughput.json`).
+//!
+//! Usage: `cargo bench -p spk_bench --bench server_throughput --
+//! [--reps N] [--out FILE]`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spk_bench::{print_table, Args};
 use spk_gen::{generate_collection, Pattern};
+use spk_obs::RunReport;
 use spk_server::{AggregatorService, ServiceConfig};
 use spk_sparse::CscMatrix;
 use spkadd::{spkadd_with, Algorithm, Options, SpkAdd};
@@ -26,6 +37,7 @@ const COLS: usize = 48;
 const NNZ_PER_COL: usize = 8;
 const STREAM_LEN: usize = 32;
 const PRODUCERS: usize = 4;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn drive(svc: &AggregatorService<f64>, mats: &[CscMatrix<f64>], key: &str) -> usize {
     std::thread::scope(|scope| {
@@ -41,54 +53,126 @@ fn drive(svc: &AggregatorService<f64>, mats: &[CscMatrix<f64>], key: &str) -> us
     sum.nnz()
 }
 
-fn bench_server(c: &mut Criterion) {
+fn main() {
+    let args = Args::parse();
+    let reps = args.get("reps", 5usize).max(1);
+    let out_path = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_server_throughput.json".to_string());
     let job = AtomicU64::new(0);
+
+    let mut report = RunReport::new("server_throughput");
+    report
+        .threads(SHARD_COUNTS[SHARD_COUNTS.len() - 1])
+        .config("rows", ROWS)
+        .config("cols", COLS)
+        .config("nnz_per_col", NNZ_PER_COL)
+        .config("stream_len", STREAM_LEN)
+        .config("producers", PRODUCERS)
+        .config("reps", reps);
+
+    let mut table = vec![vec![
+        "stream".to_string(),
+        "shards".to_string(),
+        "time (ms)".to_string(),
+        "matrices/s".to_string(),
+        "efficiency".to_string(),
+    ]];
     for (name, pattern) in [("er", Pattern::Er), ("rmat", Pattern::Rmat)] {
         let mats = generate_collection(pattern, ROWS, COLS, NNZ_PER_COL, STREAM_LEN, 42);
-        let mut group = c.benchmark_group(format!("server_throughput/{name}"));
-        group.sample_size(10);
-        group.throughput(Throughput::Elements(STREAM_LEN as u64));
-        for shards in [1usize, 2, 4, 8] {
+        let mut serial_secs = f64::NAN;
+        for shards in SHARD_COUNTS {
             let svc = AggregatorService::new(ROWS, COLS, ServiceConfig::with_shards(shards));
-            group.bench_function(BenchmarkId::new("shards", shards), |b| {
-                b.iter(|| {
-                    let key = format!("job-{}", job.fetch_add(1, Ordering::Relaxed));
-                    let nnz = drive(&svc, &mats, &key);
-                    assert!(nnz > 0, "aggregate must be non-empty");
-                    nnz
-                });
-            });
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let key = format!("job-{}", job.fetch_add(1, Ordering::Relaxed));
+                let t = std::time::Instant::now();
+                let nnz = drive(&svc, &mats, &key);
+                best = best.min(t.elapsed().as_secs_f64());
+                assert!(nnz > 0, "aggregate must be non-empty");
+            }
+            if shards == 1 {
+                serial_secs = best;
+            }
+            let eff = RunReport::efficiency(serial_secs, best, shards);
+            let throughput = STREAM_LEN as f64 / best;
+            report.result(
+                spk_obs::Row::new()
+                    .with("stream", name)
+                    .with("shards", shards)
+                    .with("secs", best)
+                    .with("throughput", throughput)
+                    .with("unit", "matrices_per_s")
+                    .with("parallel_efficiency_pct", eff),
+            );
+            table.push(vec![
+                name.to_string(),
+                shards.to_string(),
+                format!("{:.3}", best * 1e3),
+                format!("{throughput:.0}"),
+                format!("{eff:.1}%"),
+            ]);
+            if shards == SHARD_COUNTS[SHARD_COUNTS.len() - 1] {
+                report.summary(&format!("{name}_efficiency_at_{shards}_shards_pct"), eff);
+            }
         }
-        group.finish();
     }
-}
 
-/// Planned vs unplanned flush: the same batch reduction a shard's
-/// accumulator performs on every flush, once through a retained
-/// `SpkAddPlan` (what `StreamingAccumulator` now does) and once through
-/// the throwaway-plan `spkadd_with` shim (what it used to do). The gap
-/// is pure workspace-setup amortization.
-fn bench_flush_reuse(c: &mut Criterion) {
+    // Planned vs unplanned flush: the same batch reduction a shard's
+    // accumulator performs on every flush, once through a retained
+    // `SpkAddPlan` (what `StreamingAccumulator` now does) and once
+    // through the throwaway-plan `spkadd_with` shim (what it used to
+    // do). The gap is pure workspace-setup amortization.
     let batch = generate_collection(Pattern::Rmat, ROWS, COLS, NNZ_PER_COL, 8, 7);
     let refs: Vec<&CscMatrix<f64>> = batch.iter().collect();
     let opts = Options::default().with_threads(1);
-
-    let mut group = c.benchmark_group("server_throughput/flush");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(refs.len() as u64));
     let mut plan = SpkAdd::new(ROWS, COLS)
         .algorithm(Algorithm::Hash)
         .options(opts.clone())
         .build::<f64>()
         .expect("plan build failed");
-    group.bench_function("planned", |b| {
-        b.iter(|| plan.execute(&refs).expect("flush failed"));
-    });
-    group.bench_function("oneshot", |b| {
-        b.iter(|| spkadd_with(&refs, Algorithm::Hash, &opts).expect("flush failed"));
-    });
-    group.finish();
-}
+    let flush_reps = (4 * reps).max(10);
+    let mut planned = f64::INFINITY;
+    let mut oneshot = f64::INFINITY;
+    for _ in 0..flush_reps {
+        let t = std::time::Instant::now();
+        plan.execute(&refs).expect("flush failed");
+        planned = planned.min(t.elapsed().as_secs_f64());
+        let t = std::time::Instant::now();
+        spkadd_with(&refs, Algorithm::Hash, &opts).expect("flush failed");
+        oneshot = oneshot.min(t.elapsed().as_secs_f64());
+    }
+    for (mode, secs) in [("planned", planned), ("oneshot", oneshot)] {
+        report.result(
+            spk_obs::Row::new()
+                .with("stream", "flush")
+                .with("mode", mode)
+                .with("secs", secs)
+                .with("throughput", refs.len() as f64 / secs)
+                .with("unit", "matrices_per_s"),
+        );
+        table.push(vec![
+            "flush".to_string(),
+            mode.to_string(),
+            format!("{:.3}", secs * 1e3),
+            format!("{:.0}", refs.len() as f64 / secs),
+            "-".to_string(),
+        ]);
+    }
+    report.summary("flush_oneshot_over_planned", oneshot / planned);
 
-criterion_group!(benches, bench_server, bench_flush_reuse);
-criterion_main!(benches);
+    print_table(&table);
+    println!(
+        "flush: planned {:.3} ms vs oneshot {:.3} ms → {:.2}x",
+        planned * 1e3,
+        oneshot * 1e3,
+        oneshot / planned
+    );
+    report
+        .write_json_file(&out_path)
+        .expect("writing benchmark JSON failed");
+    eprintln!("wrote {out_path}");
+}

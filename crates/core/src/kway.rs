@@ -70,6 +70,17 @@ impl NumericKernel {
         }
     }
 
+    /// Static span-trace event name (`kway.dispatch.<kernel>`).
+    pub(crate) fn event_name(self) -> &'static str {
+        match self {
+            NumericKernel::Hash => "kway.dispatch.hash",
+            NumericKernel::SlidingHash => "kway.dispatch.sliding-hash",
+            NumericKernel::Spa => "kway.dispatch.spa",
+            NumericKernel::SlidingSpa => "kway.dispatch.sliding-spa",
+            NumericKernel::Heap => "kway.dispatch.heap",
+        }
+    }
+
     #[inline]
     fn index(self) -> usize {
         match self {
@@ -238,7 +249,7 @@ fn decide_kernels<T: Element>(
             .map(|r| scorer.choose(&chunk_profile(mats, out_colptr, r)))
             .collect()
     };
-    match dispatch {
+    let chosen = match dispatch {
         KernelDispatch::Fixed(kernel) => vec![*kernel; ranges.len()],
         KernelDispatch::Adaptive(scorer) => score(scorer),
         KernelDispatch::Memoized { decisions, scorer } => {
@@ -248,7 +259,15 @@ fn decide_kernels<T: Element>(
                 score(scorer)
             }
         }
+    };
+    // One trace event per chunk-level dispatch decision; a single
+    // relaxed load when tracing is off (O(chunks), not O(entries)).
+    if spk_obs::tracing_enabled() {
+        for &kernel in &chosen {
+            spk_obs::event!(kernel.event_name());
+        }
     }
+    chosen
 }
 
 /// Output buffers recycled from a previous result (`execute_into`): the

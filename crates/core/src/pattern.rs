@@ -235,6 +235,34 @@ pub struct PatternCache {
     /// addresses and nnz of the last fingerprinted collection, plus its
     /// print. See [`PatternCache::fingerprint`].
     identity: IdentityMemo,
+    /// Process-wide `spkadd.pattern.*` counters, resolved once at
+    /// construction so the per-lookup cost is one relaxed add.
+    obs: PatternObs,
+}
+
+/// Handles into [`spk_obs::global`] mirroring the per-cache counters,
+/// so traces and metrics dumps see pattern traffic across every cache
+/// in the process (per-plan stats stay exact via `stats()`).
+#[derive(Debug)]
+struct PatternObs {
+    hits: Arc<spk_obs::Counter>,
+    misses: Arc<spk_obs::Counter>,
+    insertions: Arc<spk_obs::Counter>,
+    evictions: Arc<spk_obs::Counter>,
+    identity_hits: Arc<spk_obs::Counter>,
+}
+
+impl PatternObs {
+    fn new() -> Self {
+        let reg = spk_obs::global();
+        PatternObs {
+            hits: reg.counter("spkadd.pattern.hits"),
+            misses: reg.counter("spkadd.pattern.misses"),
+            insertions: reg.counter("spkadd.pattern.insertions"),
+            evictions: reg.counter("spkadd.pattern.evictions"),
+            identity_hits: reg.counter("spkadd.pattern.identity_hits"),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -268,6 +296,7 @@ impl PatternCache {
             evictions: 0,
             identity_hits: 0,
             identity: IdentityMemo::default(),
+            obs: PatternObs::new(),
         }
     }
 
@@ -294,6 +323,7 @@ impl PatternCache {
                     .all(|(a, id)| identity_of(a) == *id)
             {
                 self.identity_hits += 1;
+                self.obs.identity_hits.inc();
                 return fp;
             }
         }
@@ -322,11 +352,13 @@ impl PatternCache {
         match self.entries.get_mut(fp) {
             Some(slot) => {
                 self.hits += 1;
+                self.obs.hits.inc();
                 slot.last_used = self.tick;
                 Some(Arc::clone(&slot.pattern))
             }
             None => {
                 self.misses += 1;
+                self.obs.misses.inc();
                 None
             }
         }
@@ -352,9 +384,11 @@ impl PatternCache {
             {
                 self.entries.remove(&oldest);
                 self.evictions += 1;
+                self.obs.evictions.inc();
             }
         }
         self.insertions += 1;
+        self.obs.insertions.inc();
         self.entries.insert(
             fp,
             Slot {

@@ -410,6 +410,7 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
         mats: &[&CscMatrix<T>],
         recycle: RecycledBufs<T>,
     ) -> Result<(CscMatrix<T>, ExecuteStats), SpkaddError> {
+        let _span = spk_obs::span!("spkadd.execute");
         let shape = common_shape(mats)?;
         if shape != self.shape {
             return Err(SpkaddError::Sparse(SparseError::DimensionMismatch {
@@ -447,19 +448,22 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
         if let Some(cache) = self.cache.as_mut() {
             outcome = PatternOutcome::Bypassed;
             if kernel.is_some() && !O::MAY_FILTER {
-                let t = std::time::Instant::now();
-                let fp = cache.fingerprint(mats);
-                match cache.lookup(&fp) {
-                    Some(pattern) => {
-                        outcome = PatternOutcome::Hit;
-                        hit = Some(pattern);
+                // `timed` records the span from the same measurement
+                // that lands in `ExecuteStats::fingerprint`.
+                let ((), dur) = spk_obs::timed("spkadd.fingerprint", || {
+                    let fp = cache.fingerprint(mats);
+                    match cache.lookup(&fp) {
+                        Some(pattern) => {
+                            outcome = PatternOutcome::Hit;
+                            hit = Some(pattern);
+                        }
+                        None => {
+                            outcome = PatternOutcome::Miss;
+                            insert_on_miss = Some(fp);
+                        }
                     }
-                    None => {
-                        outcome = PatternOutcome::Miss;
-                        insert_on_miss = Some(fp);
-                    }
-                }
-                fingerprint_secs = t.elapsed().as_secs_f64();
+                });
+                fingerprint_secs = dur.as_secs_f64();
             }
         }
 
@@ -503,64 +507,71 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
         let monoid = self.monoid;
         let pool = &self.pool;
         let hit_pattern = hit;
+        // Every phase is measured through `spk_obs::timed`, so the spans
+        // a trace captures and the `ExecuteStats` a caller reads are the
+        // same numbers — not two clocks around roughly the same code.
         let body = move || {
-            let t0 = std::time::Instant::now();
             if let Some(pattern) = hit_pattern.as_deref() {
-                let (out, decisions) = kway_numeric_cached(
-                    mats,
-                    pattern,
-                    dispatch
-                        .as_ref()
-                        .expect("hits only occur on the k-way path"),
-                    monoid,
-                    &ctx,
-                    pool,
-                    recycle,
-                );
+                let ((out, decisions), dur) = spk_obs::timed("spkadd.numeric", || {
+                    kway_numeric_cached(
+                        mats,
+                        pattern,
+                        dispatch
+                            .as_ref()
+                            .expect("hits only occur on the k-way path"),
+                        monoid,
+                        &ctx,
+                        pool,
+                        recycle,
+                    )
+                });
                 return (
                     out,
                     ExecuteStats {
-                        numeric: t0.elapsed().as_secs_f64(),
+                        numeric: dur.as_secs_f64(),
                         symbolic_skipped: true,
                         ..ExecuteStats::default()
                     },
                     decisions,
                 );
             }
+            // The 2-way/library folds have no separate phases: the whole
+            // fold is one numeric span.
+            let fold = |out: CscMatrix<T>, dur: std::time::Duration| {
+                (
+                    out,
+                    ExecuteStats {
+                        numeric: dur.as_secs_f64(),
+                        ..ExecuteStats::default()
+                    },
+                    Vec::new(),
+                )
+            };
             match alg {
                 Algorithm::Auto => unreachable!("resolved above"),
-                Algorithm::TwoWayIncremental => (
-                    twoway::spkadd_incremental_with(mats, 0, sched, monoid),
-                    ExecuteStats {
-                        numeric: t0.elapsed().as_secs_f64(),
-                        ..ExecuteStats::default()
-                    },
-                    Vec::new(),
-                ),
-                Algorithm::TwoWayTree => (
-                    twoway::spkadd_tree_with(mats, 0, sched, monoid),
-                    ExecuteStats {
-                        numeric: t0.elapsed().as_secs_f64(),
-                        ..ExecuteStats::default()
-                    },
-                    Vec::new(),
-                ),
-                Algorithm::LibIncremental => (
-                    libstyle::lib_incremental_with(mats, monoid),
-                    ExecuteStats {
-                        numeric: t0.elapsed().as_secs_f64(),
-                        ..ExecuteStats::default()
-                    },
-                    Vec::new(),
-                ),
-                Algorithm::LibTree => (
-                    libstyle::lib_tree_with(mats, monoid),
-                    ExecuteStats {
-                        numeric: t0.elapsed().as_secs_f64(),
-                        ..ExecuteStats::default()
-                    },
-                    Vec::new(),
-                ),
+                Algorithm::TwoWayIncremental => {
+                    let (out, dur) = spk_obs::timed("spkadd.numeric", || {
+                        twoway::spkadd_incremental_with(mats, 0, sched, monoid)
+                    });
+                    fold(out, dur)
+                }
+                Algorithm::TwoWayTree => {
+                    let (out, dur) = spk_obs::timed("spkadd.numeric", || {
+                        twoway::spkadd_tree_with(mats, 0, sched, monoid)
+                    });
+                    fold(out, dur)
+                }
+                Algorithm::LibIncremental => {
+                    let (out, dur) = spk_obs::timed("spkadd.numeric", || {
+                        libstyle::lib_incremental_with(mats, monoid)
+                    });
+                    fold(out, dur)
+                }
+                Algorithm::LibTree => {
+                    let (out, dur) =
+                        spk_obs::timed("spkadd.numeric", || libstyle::lib_tree_with(mats, monoid));
+                    fold(out, dur)
+                }
                 Algorithm::Heap
                 | Algorithm::Spa
                 | Algorithm::Hash
@@ -575,20 +586,21 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
                         } else {
                             symbolic
                         };
-                    let counts = symbolic_counts(mats, strategy, &ctx, pool);
-                    let symbolic_secs = t0.elapsed().as_secs_f64();
+                    let (counts, sym_dur) = spk_obs::timed("spkadd.symbolic", || {
+                        symbolic_counts(mats, strategy, &ctx, pool)
+                    });
                     let exact = strategy != SymbolicStrategy::UpperBound;
                     let dispatch = dispatch
                         .as_ref()
                         .expect("k-way algorithms map to a dispatch");
-                    let t1 = std::time::Instant::now();
-                    let (out, decisions) =
-                        kway_numeric(mats, &counts, exact, dispatch, monoid, &ctx, pool, recycle);
+                    let ((out, decisions), num_dur) = spk_obs::timed("spkadd.numeric", || {
+                        kway_numeric(mats, &counts, exact, dispatch, monoid, &ctx, pool, recycle)
+                    });
                     (
                         out,
                         ExecuteStats {
-                            symbolic: symbolic_secs,
-                            numeric: t1.elapsed().as_secs_f64(),
+                            symbolic: sym_dur.as_secs_f64(),
+                            numeric: num_dur.as_secs_f64(),
                             ..ExecuteStats::default()
                         },
                         decisions,
@@ -605,14 +617,15 @@ impl<T: Element, O: Monoid<Value = T>> SpkAddPlan<T, O> {
             // exact even when the symbolic strategy was `UpperBound` —
             // together with the per-chunk kernel decisions, so warm hits
             // skip scoring as well as symbolic.
-            let t = std::time::Instant::now();
-            self.cache.as_mut().expect("miss implies a cache").insert(
-                fp,
-                out.colptr(),
-                out.rowidx(),
-                &decisions,
-            );
-            fingerprint_secs += t.elapsed().as_secs_f64();
+            let ((), dur) = spk_obs::timed("spkadd.pattern_insert", || {
+                self.cache.as_mut().expect("miss implies a cache").insert(
+                    fp,
+                    out.colptr(),
+                    out.rowidx(),
+                    &decisions,
+                );
+            });
+            fingerprint_secs += dur.as_secs_f64();
         }
         stats.fingerprint = fingerprint_secs;
         stats.pattern = outcome;

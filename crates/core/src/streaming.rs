@@ -84,6 +84,12 @@ pub struct StreamingAccumulator<T: Element, O: Monoid<Value = T> = Plus<T>> {
     matrices_seen: usize,
     /// Aggregated per-chunk kernel histogram across all flushes.
     kernel_counts: KernelCounts,
+    /// Wall-clock of the previous flush, for the cadence histogram.
+    last_flush: Option<std::time::Instant>,
+    /// Process-wide flush cadence histogram
+    /// (`stream.flush.interval_ns` in [`spk_obs::global`]), resolved
+    /// once at construction; recording is three relaxed atomic adds.
+    flush_interval_obs: std::sync::Arc<spk_obs::Histogram>,
 }
 
 impl<T: Scalar> StreamingAccumulator<T> {
@@ -164,6 +170,8 @@ impl<T: Element, O: Monoid<Value = T>> StreamingAccumulator<T, O> {
             batches_flushed: 0,
             matrices_seen: 0,
             kernel_counts: KernelCounts::default(),
+            last_flush: None,
+            flush_interval_obs: spk_obs::global().histogram("stream.flush.interval_ns"),
         }
     }
 
@@ -240,6 +248,12 @@ impl<T: Element, O: Monoid<Value = T>> StreamingAccumulator<T, O> {
     pub fn flush(&mut self) -> Result<(), SpkaddError> {
         if self.pending.is_empty() {
             return Ok(());
+        }
+        let _span = spk_obs::span!("stream.flush");
+        let now = std::time::Instant::now();
+        if let Some(prev) = self.last_flush.replace(now) {
+            self.flush_interval_obs
+                .record(now.duration_since(prev).as_nanos() as u64);
         }
         let plan = match self.plan.as_mut() {
             Some(p) => p,

@@ -1,0 +1,30 @@
+//! Validate emitted observability JSON against the in-repo schemas
+//! (`spk_obs.run_report.v1` / `spk_obs.trace.v1` /
+//! `spk_obs.metrics.v1`). CI runs this instead of depending on jq.
+//!
+//! Usage: `obs-check <file.json> [more.json ...]`; exits non-zero if
+//! any file fails.
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: obs-check <file.json> [more.json ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| format!("read failed: {e}"))
+            .and_then(|text| spk_obs::schema::validate_str(&text));
+        match outcome {
+            Ok(kind) => println!("ok: {path} ({kind})"),
+            Err(e) => {
+                eprintln!("FAIL: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

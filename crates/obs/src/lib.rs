@@ -1,0 +1,53 @@
+//! `spk_obs` — std-only observability for the SpKAdd workspace: span
+//! tracing, a metrics registry, and unified machine-readable run
+//! reports. Zero dependencies by design (offline environment — no
+//! tokio/tracing/serde).
+//!
+//! Three pieces:
+//!
+//! * [`span`](mod@span) — thread-local span stacks over `Instant` recorded into
+//!   bounded lock-free per-thread rings; disabled by default with a
+//!   zero-allocation, single-atomic-load disabled path (and a crate
+//!   feature `off` that folds the layer away at compile time). Enable
+//!   with [`set_tracing`]`(true)`, drain with [`take_spans`].
+//! * [`metrics`] — named [`Counter`]s/[`Gauge`]s/log-bucketed
+//!   [`Histogram`]s behind `Arc` handles; snapshots merge
+//!   associatively so shard-local metrics fold into service totals.
+//! * [`report`] — [`RunReport`], the one JSON + human-table report
+//!   type shared by every bench and demo, and span-trace
+//!   serialization ([`trace_json`], [`render_span_tree`]).
+//!
+//! [`schema`] validates the emitted documents (`obs-check` bin in CI).
+//!
+//! # Quick start
+//!
+//! ```
+//! spk_obs::set_tracing(true);
+//! {
+//!     let _span = spk_obs::span!("demo.outer");
+//!     let (_, dur) = spk_obs::timed("demo.work", || 2 + 2);
+//!     assert!(dur.as_nanos() > 0 || dur.as_nanos() == 0);
+//! }
+//! let spans = spk_obs::take_spans();
+//! assert!(spans.iter().any(|s| s.name == "demo.work"));
+//! spk_obs::set_tracing(false);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod schema;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{
+    bucket_bounds, bucket_index, global, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsSnapshot, Registry, HISTOGRAM_BUCKETS, METRICS_SCHEMA,
+};
+pub use report::{
+    render_span_tree, trace_json, Row, RunReport, RUN_REPORT_SCHEMA, SINGLE_CORE_NOTE, TRACE_SCHEMA,
+};
+pub use span::{
+    allocations, dropped_spans, record_explicit, set_tracing, take_spans, timed, tracing_enabled,
+    SpanGuard, SpanKind, SpanRecord, RING_CAPACITY,
+};

@@ -1,0 +1,425 @@
+//! Metrics registry: named counters, gauges, and log-bucketed
+//! histograms with mergeable snapshots.
+//!
+//! Naming convention is dotted `scope.subject[.unit]`, e.g.
+//! `spkadd.pattern.hits`, `shard3.queue_depth`,
+//! `stream.flush.interval_ns`. Handles ([`Counter`], [`Gauge`],
+//! [`Histogram`]) are `Arc`s resolved once at setup time; the hot path
+//! is a single relaxed atomic op, so instrumented code pays exactly
+//! what a hand-rolled `AtomicU64` field used to cost.
+//!
+//! Snapshots are plain data and [`MetricsSnapshot::merge`] /
+//! [`HistogramSnapshot::merge`] are associative and commutative
+//! (element-wise sums keyed by name), so shard-local snapshots fold
+//! into service totals in any grouping — the same contract the server
+//! crate's delta-synced shard metrics relied on.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::Json;
+
+/// `spk_obs.metrics.v1` — schema id stamped on metrics snapshots.
+pub const METRICS_SCHEMA: &str = "spk_obs.metrics.v1";
+
+/// Number of histogram buckets: bucket 0 holds zero, bucket `b`
+/// (1..=64) holds `[2^(b-1), 2^b - 1]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a value (log2 bucketing, see [`HISTOGRAM_BUCKETS`]).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `b`.
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    assert!(b < HISTOGRAM_BUCKETS, "bucket index {b} out of range");
+    if b == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (b - 1);
+        let hi = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+        (lo, hi)
+    }
+}
+
+/// Monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed up/down gauge (e.g. queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Log2-bucketed histogram of `u64` samples (latencies in ns, sizes…).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, slot) in buckets.iter_mut().zip(&self.buckets) {
+            *b = slot.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]; merges are associative and
+/// commutative (element-wise sums).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`); a pessimistic estimate, exact at bucket edges.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(b).1;
+            }
+        }
+        bucket_bounds(HISTOGRAM_BUCKETS - 1).1
+    }
+
+    /// Upper bound of the highest non-empty bucket (0 when empty).
+    pub fn max_bound(&self) -> u64 {
+        for b in (0..HISTOGRAM_BUCKETS).rev() {
+            if self.buckets[b] > 0 {
+                return bucket_bounds(b).1;
+            }
+        }
+        0
+    }
+
+    /// JSON form: `{count, sum, mean, buckets: [[lo, hi, n], ...]}`
+    /// listing only non-empty buckets.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| {
+                let (lo, hi) = bucket_bounds(b);
+                Json::Arr(vec![Json::from(lo), Json::from(hi), Json::from(n)])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("count".into(), Json::from(self.count)),
+            ("sum".into(), Json::from(self.sum)),
+            ("mean".into(), Json::from(self.mean())),
+            ("buckets".into(), Json::Arr(buckets)),
+        ])
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Named metric registry. Registration order is preserved so snapshots
+/// and reports are stable; lookups are setup-path only (handles are
+/// cached by the instrumented code).
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        extract: impl Fn(&Metric) -> Option<Arc<T>>,
+        make: impl FnOnce() -> (Arc<T>, Metric),
+    ) -> Arc<T> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, m)) = inner.iter().find(|(n, _)| n == name) {
+            return extract(m)
+                .unwrap_or_else(|| panic!("metric '{name}' already registered as a {}", m.kind()));
+        }
+        let (handle, metric) = make();
+        crate::span::count_alloc(1);
+        inner.push((name.to_string(), metric));
+        handle
+    }
+
+    /// Get or create the counter `name`; panics if `name` is already a
+    /// different metric type.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::default());
+                (Arc::clone(&c), Metric::Counter(c))
+            },
+        )
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::default());
+                (Arc::clone(&g), Metric::Gauge(g))
+            },
+        )
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::default());
+                (Arc::clone(&h), Metric::Histogram(h))
+            },
+        )
+    }
+
+    /// Copy every metric's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (name, m) in inner.iter() {
+            match m {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// The process-wide registry (core-layer instrumentation publishes
+/// here; the server builds per-service registries instead).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Plain-data copy of a [`Registry`]; name-keyed merges are
+/// associative and commutative.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Fold `other` into `self`: same-named counters/gauges sum,
+    /// same-named histograms merge bucket-wise, unseen names append.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// `spk_obs.metrics.v1` JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::from(METRICS_SCHEMA)),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(n, h)| (n.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}

@@ -1,0 +1,313 @@
+//! `RunReport`: one machine-readable + human-readable report type for
+//! every bench and demo in the workspace (SNIPPETS benchmark-report
+//! idiom: per-phase timings, throughput, parallel-efficiency %, and
+//! the environment the numbers came from).
+//!
+//! The JSON layout keeps the keys the old ad-hoc writers emitted
+//! (`bench`, `config`, `results` rows, `summary`) so existing tooling
+//! still parses the files, and adds `schema`, `threads`, `cores`,
+//! `parallel_efficiency_pct`, and `notes` on top.
+
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+use crate::span::{SpanKind, SpanRecord};
+
+/// `spk_obs.run_report.v1` — schema id stamped on run reports.
+pub const RUN_REPORT_SCHEMA: &str = "spk_obs.run_report.v1";
+/// `spk_obs.trace.v1` — schema id stamped on span-trace dumps.
+pub const TRACE_SCHEMA: &str = "spk_obs.trace.v1";
+
+/// Note attached automatically when the host exposes a single core.
+pub const SINGLE_CORE_NOTE: &str =
+    "single-core host: timings are regression signals, not speedup measurements";
+
+/// One result row: an ordered list of `(column, value)` fields.
+#[derive(Debug, Clone, Default)]
+pub struct Row(pub Vec<(String, Json)>);
+
+impl Row {
+    pub fn new() -> Row {
+        Row::default()
+    }
+
+    /// Append a field (builder style).
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Row {
+        self.0.push((key.to_string(), value.into()));
+        self
+    }
+}
+
+/// A run report: config + result rows + summary, serializable to
+/// schema-tagged JSON ([`RunReport::json_string`]) and an aligned
+/// human table ([`RunReport::human_table`]).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    bench: String,
+    threads: usize,
+    cores: usize,
+    parallel_efficiency_pct: Option<f64>,
+    notes: Vec<String>,
+    config: Vec<(String, Json)>,
+    results: Vec<Row>,
+    summary: Vec<(String, Json)>,
+}
+
+impl RunReport {
+    /// New report for `bench`, detecting `cores` from the host and
+    /// attaching [`SINGLE_CORE_NOTE`] when it is 1.
+    pub fn new(bench: &str) -> RunReport {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut report = RunReport {
+            bench: bench.to_string(),
+            threads: 1,
+            cores,
+            parallel_efficiency_pct: None,
+            notes: Vec::new(),
+            config: Vec::new(),
+            results: Vec::new(),
+            summary: Vec::new(),
+        };
+        if cores == 1 {
+            report.notes.push(SINGLE_CORE_NOTE.to_string());
+        }
+        report
+    }
+
+    /// Worker threads the measured code used (reported as `threads`).
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Report-level parallel efficiency; defaults to 100 when
+    /// `threads == 1` (serial is its own baseline).
+    pub fn parallel_efficiency_pct(&mut self, pct: f64) -> &mut Self {
+        self.parallel_efficiency_pct = Some(pct);
+        self
+    }
+
+    /// Parallel efficiency % of `parallel_secs` on `threads` threads
+    /// against `serial_secs` on one: `t1 / (p * tp) * 100`.
+    pub fn efficiency(serial_secs: f64, parallel_secs: f64, threads: usize) -> f64 {
+        if parallel_secs <= 0.0 || threads == 0 {
+            return 0.0;
+        }
+        serial_secs / (threads as f64 * parallel_secs) * 100.0
+    }
+
+    pub fn note(&mut self, msg: &str) -> &mut Self {
+        self.notes.push(msg.to_string());
+        self
+    }
+
+    pub fn config(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        self.config.push((key.to_string(), value.into()));
+        self
+    }
+
+    pub fn result(&mut self, row: Row) -> &mut Self {
+        self.results.push(row);
+        self
+    }
+
+    pub fn summary(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        self.summary.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// `None` only when multi-threaded and unmeasured — a serial run is
+    /// its own baseline (100%), but inventing a figure for a parallel
+    /// run would misreport it as pathological.
+    fn effective_efficiency(&self) -> Option<f64> {
+        match self.parallel_efficiency_pct {
+            Some(pct) => Some(pct),
+            None if self.threads == 1 => Some(100.0),
+            None => None,
+        }
+    }
+
+    /// The report as a [`Json`] value.
+    pub fn to_json(&self) -> Json {
+        let mut top = vec![
+            ("schema".to_string(), Json::from(RUN_REPORT_SCHEMA)),
+            ("bench".to_string(), Json::from(self.bench.as_str())),
+            ("threads".to_string(), Json::from(self.threads)),
+            ("cores".to_string(), Json::from(self.cores)),
+            (
+                "parallel_efficiency_pct".to_string(),
+                match self.effective_efficiency() {
+                    Some(pct) => Json::from(pct),
+                    None => Json::Null,
+                },
+            ),
+        ];
+        if !self.notes.is_empty() {
+            top.push((
+                "notes".to_string(),
+                Json::Arr(self.notes.iter().map(|n| Json::from(n.as_str())).collect()),
+            ));
+        }
+        top.push(("config".to_string(), Json::Obj(self.config.clone())));
+        top.push((
+            "results".to_string(),
+            Json::Arr(
+                self.results
+                    .iter()
+                    .map(|r| Json::Obj(r.0.clone()))
+                    .collect(),
+            ),
+        ));
+        if !self.summary.is_empty() {
+            top.push(("summary".to_string(), Json::Obj(self.summary.clone())));
+        }
+        Json::Obj(top)
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Write the JSON document to `path`.
+    pub fn write_json_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.json_string())
+    }
+
+    /// Aligned text table: header line, config line, one column per
+    /// distinct result field (first-seen order), then summary lines.
+    pub fn human_table(&self) -> String {
+        let mut out = format!(
+            "# {} — threads={} cores={}",
+            self.bench, self.threads, self.cores
+        );
+        if let Some(pct) = self.effective_efficiency() {
+            out.push_str(&format!(" parallel_efficiency={pct:.1}%"));
+        }
+        out.push('\n');
+        for note in &self.notes {
+            out.push_str(&format!("# note: {note}\n"));
+        }
+        if !self.config.is_empty() {
+            out.push_str("# config:");
+            for (k, v) in &self.config {
+                out.push_str(&format!(" {k}={}", cell(v)));
+            }
+            out.push('\n');
+        }
+        // Column set = union of row fields in first-seen order.
+        let mut cols: Vec<&str> = Vec::new();
+        for row in &self.results {
+            for (k, _) in &row.0 {
+                if !cols.contains(&k.as_str()) {
+                    cols.push(k);
+                }
+            }
+        }
+        if !cols.is_empty() {
+            let mut table: Vec<Vec<String>> = vec![cols.iter().map(|c| c.to_string()).collect()];
+            for row in &self.results {
+                table.push(
+                    cols.iter()
+                        .map(|c| {
+                            row.0
+                                .iter()
+                                .find(|(k, _)| k == c)
+                                .map(|(_, v)| cell(v))
+                                .unwrap_or_else(|| "-".to_string())
+                        })
+                        .collect(),
+                );
+            }
+            let widths: Vec<usize> = (0..cols.len())
+                .map(|c| table.iter().map(|r| r[c].len()).max().unwrap_or(0))
+                .collect();
+            for row in &table {
+                let line: Vec<String> = row
+                    .iter()
+                    .zip(&widths)
+                    .map(|(cell, w)| format!("{cell:<w$}"))
+                    .collect();
+                out.push_str(line.join("  ").trim_end());
+                out.push('\n');
+            }
+        }
+        for (k, v) in &self.summary {
+            out.push_str(&format!("summary.{k} = {}\n", cell(v)));
+        }
+        out
+    }
+}
+
+/// Human-table cell formatting: integers plain, fractions to 6 places
+/// with trailing zeros trimmed, strings unquoted.
+fn cell(v: &Json) -> String {
+    match v {
+        Json::Num(x) if x.fract() == 0.0 && x.abs() < 9e15 => format!("{}", *x as i64),
+        Json::Num(x) => {
+            let s = format!("{x:.6}");
+            let s = s.trim_end_matches('0').trim_end_matches('.');
+            s.to_string()
+        }
+        Json::Str(s) => s.clone(),
+        Json::Bool(b) => b.to_string(),
+        Json::Null => "-".to_string(),
+        other => other.to_string_compact(),
+    }
+}
+
+/// `spk_obs.trace.v1` JSON form of a drained span set.
+pub fn trace_json(spans: &[SpanRecord], dropped: u64) -> Json {
+    let rows: Vec<Json> = spans
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("name".into(), Json::from(s.name)),
+                ("thread".into(), Json::from(s.thread)),
+                ("depth".into(), Json::from(u64::from(s.depth))),
+                (
+                    "kind".into(),
+                    Json::from(match s.kind {
+                        SpanKind::Span => "span",
+                        SpanKind::Event => "event",
+                    }),
+                ),
+                ("start_ns".into(), Json::from(s.start_ns)),
+                ("dur_ns".into(), Json::from(s.dur_ns)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::from(TRACE_SCHEMA)),
+        ("dropped".into(), Json::from(dropped)),
+        ("spans".into(), Json::Arr(rows)),
+    ])
+}
+
+/// Indented per-thread span tree (spans sorted by start time, nested
+/// by recorded depth), durations in ms.
+pub fn render_span_tree(spans: &[SpanRecord]) -> String {
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.thread, s.start_ns, s.depth));
+    let mut out = String::new();
+    let mut current_thread = None;
+    for s in sorted {
+        if current_thread != Some(s.thread) {
+            out.push_str(&format!("thread {}:\n", s.thread));
+            current_thread = Some(s.thread);
+        }
+        let indent = "  ".repeat(usize::from(s.depth) + 1);
+        match s.kind {
+            SpanKind::Span => out.push_str(&format!(
+                "{indent}{name} {ms:.3} ms\n",
+                name = s.name,
+                ms = s.dur_ns as f64 / 1e6
+            )),
+            SpanKind::Event => out.push_str(&format!("{indent}@{}\n", s.name)),
+        }
+    }
+    out
+}

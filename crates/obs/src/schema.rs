@@ -1,0 +1,196 @@
+//! In-repo schema checker for the three JSON document kinds this crate
+//! emits, used by the `obs-check` bin in CI (no jq dependency).
+
+use crate::json::Json;
+use crate::metrics::METRICS_SCHEMA;
+use crate::report::{RUN_REPORT_SCHEMA, TRACE_SCHEMA};
+
+/// Which schema a document validated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    RunReport,
+    Trace,
+    Metrics,
+}
+
+impl std::fmt::Display for Kind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Kind::RunReport => RUN_REPORT_SCHEMA,
+            Kind::Trace => TRACE_SCHEMA,
+            Kind::Metrics => METRICS_SCHEMA,
+        })
+    }
+}
+
+/// Parse and validate a JSON document against the schema its `schema`
+/// field names.
+pub fn validate_str(text: &str) -> Result<Kind, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    validate_json(&doc)
+}
+
+/// Validate an already-parsed document.
+pub fn validate_json(doc: &Json) -> Result<Kind, String> {
+    let schema = str_field(doc, "schema")?;
+    match schema {
+        RUN_REPORT_SCHEMA => validate_run_report(doc).map(|()| Kind::RunReport),
+        TRACE_SCHEMA => validate_trace(doc).map(|()| Kind::Trace),
+        METRICS_SCHEMA => validate_metrics(doc).map(|()| Kind::Metrics),
+        other => Err(format!("unknown schema '{other}'")),
+    }
+}
+
+fn field<'a>(doc: &'a Json, name: &str) -> Result<&'a Json, String> {
+    doc.get(name)
+        .ok_or_else(|| format!("missing field '{name}'"))
+}
+
+fn str_field<'a>(doc: &'a Json, name: &str) -> Result<&'a str, String> {
+    field(doc, name)?
+        .as_str()
+        .ok_or_else(|| format!("field '{name}' must be a string"))
+}
+
+fn num_field(doc: &Json, name: &str) -> Result<f64, String> {
+    field(doc, name)?
+        .as_f64()
+        .ok_or_else(|| format!("field '{name}' must be a number"))
+}
+
+fn obj_field<'a>(doc: &'a Json, name: &str) -> Result<&'a [(String, Json)], String> {
+    field(doc, name)?
+        .as_obj()
+        .ok_or_else(|| format!("field '{name}' must be an object"))
+}
+
+fn arr_field<'a>(doc: &'a Json, name: &str) -> Result<&'a [Json], String> {
+    field(doc, name)?
+        .as_arr()
+        .ok_or_else(|| format!("field '{name}' must be an array"))
+}
+
+fn validate_run_report(doc: &Json) -> Result<(), String> {
+    let bench = str_field(doc, "bench")?;
+    if bench.is_empty() {
+        return Err("field 'bench' must be non-empty".into());
+    }
+    let threads = num_field(doc, "threads")?;
+    if threads < 1.0 || threads.fract() != 0.0 {
+        return Err("field 'threads' must be a positive integer".into());
+    }
+    let cores = num_field(doc, "cores")?;
+    if cores < 1.0 || cores.fract() != 0.0 {
+        return Err("field 'cores' must be a positive integer".into());
+    }
+    // Null is legal: multi-threaded report with no measured baseline.
+    match doc.get("parallel_efficiency_pct") {
+        Some(Json::Null) => {}
+        _ => {
+            let eff = num_field(doc, "parallel_efficiency_pct")?;
+            if !(0.0..=1000.0).contains(&eff) {
+                return Err(format!("parallel_efficiency_pct {eff} out of range"));
+            }
+        }
+    }
+    obj_field(doc, "config")?;
+    let results = arr_field(doc, "results")?;
+    for (i, row) in results.iter().enumerate() {
+        let fields = row
+            .as_obj()
+            .ok_or_else(|| format!("results[{i}] must be an object"))?;
+        if fields.is_empty() {
+            return Err(format!("results[{i}] must be non-empty"));
+        }
+    }
+    if let Some(notes) = doc.get("notes") {
+        let notes = notes.as_arr().ok_or("field 'notes' must be an array")?;
+        if notes.iter().any(|n| n.as_str().is_none()) {
+            return Err("'notes' entries must be strings".into());
+        }
+    }
+    if let Some(summary) = doc.get("summary") {
+        summary
+            .as_obj()
+            .ok_or("field 'summary' must be an object")?;
+    }
+    Ok(())
+}
+
+fn validate_trace(doc: &Json) -> Result<(), String> {
+    let dropped = num_field(doc, "dropped")?;
+    if dropped < 0.0 || dropped.fract() != 0.0 {
+        return Err("field 'dropped' must be a non-negative integer".into());
+    }
+    let spans = arr_field(doc, "spans")?;
+    for (i, span) in spans.iter().enumerate() {
+        let err = |msg: &str| format!("spans[{i}]: {msg}");
+        if span.as_obj().is_none() {
+            return Err(err("must be an object"));
+        }
+        let name = str_field(span, "name").map_err(|e| err(&e))?;
+        if name.is_empty() {
+            return Err(err("'name' must be non-empty"));
+        }
+        let kind = str_field(span, "kind").map_err(|e| err(&e))?;
+        if kind != "span" && kind != "event" {
+            return Err(err("'kind' must be 'span' or 'event'"));
+        }
+        for key in ["thread", "depth", "start_ns", "dur_ns"] {
+            let v = num_field(span, key).map_err(|e| err(&e))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(err(&format!("'{key}' must be a non-negative integer")));
+            }
+        }
+        if kind == "event" && num_field(span, "dur_ns").unwrap_or(0.0) != 0.0 {
+            return Err(err("events must have dur_ns == 0"));
+        }
+    }
+    Ok(())
+}
+
+fn validate_metrics(doc: &Json) -> Result<(), String> {
+    for (name, v) in obj_field(doc, "counters")? {
+        if v.as_u64().is_none() {
+            return Err(format!("counter '{name}' must be a non-negative integer"));
+        }
+    }
+    for (name, v) in obj_field(doc, "gauges")? {
+        if v.as_f64().map(|x| x.fract() != 0.0).unwrap_or(true) {
+            return Err(format!("gauge '{name}' must be an integer"));
+        }
+    }
+    for (name, hist) in obj_field(doc, "histograms")? {
+        let err = |msg: &str| format!("histogram '{name}': {msg}");
+        let count = num_field(hist, "count").map_err(|e| err(&e))?;
+        num_field(hist, "sum").map_err(|e| err(&e))?;
+        num_field(hist, "mean").map_err(|e| err(&e))?;
+        let buckets = arr_field(hist, "buckets").map_err(|e| err(&e))?;
+        let mut total = 0.0;
+        for (i, bucket) in buckets.iter().enumerate() {
+            let triple = bucket
+                .as_arr()
+                .filter(|t| t.len() == 3)
+                .ok_or_else(|| err(&format!("buckets[{i}] must be [lo, hi, n]")))?;
+            let lo = triple[0]
+                .as_f64()
+                .ok_or_else(|| err("bucket lo not a number"))?;
+            let hi = triple[1]
+                .as_f64()
+                .ok_or_else(|| err("bucket hi not a number"))?;
+            let n = triple[2]
+                .as_f64()
+                .ok_or_else(|| err("bucket n not a number"))?;
+            if hi < lo || n < 0.0 {
+                return Err(err(&format!("buckets[{i}] malformed")));
+            }
+            total += n;
+        }
+        if total != count {
+            return Err(err(&format!(
+                "bucket counts sum to {total}, 'count' says {count}"
+            )));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,338 @@
+//! Span tracing: thread-local span stacks over [`Instant`], recorded
+//! into bounded per-thread write-once ring buffers.
+//!
+//! # Design
+//!
+//! * **Global switch.** Tracing is off by default. [`set_tracing`]
+//!   flips one `AtomicBool`; every entry point does a single `Relaxed`
+//!   load and returns immediately when disabled. With the crate's
+//!   `off` feature the check is a `cfg!` constant and the whole path
+//!   folds to nothing at compile time.
+//! * **Zero allocations on the disabled path.** A disabled
+//!   `span!`/`event!`/[`timed`] call touches no thread-local, takes
+//!   no lock, and allocates nothing — asserted by tests with a
+//!   counting global allocator. On the *enabled* path the only
+//!   allocations are one-time per thread (the ring buffer and its
+//!   registry entry), counted by [`allocations`] the same way the core
+//!   crate counts workspace rebuilds with `workspace_allocations()`.
+//! * **Lock-free recording.** Each thread owns a bounded ring of
+//!   [`SpanRecord`] slots. Only the owner thread writes a slot, then
+//!   publishes it with a `Release` store of the length; drainers
+//!   (`take_spans`) `Acquire`-load the length and read only published
+//!   slots, which are never written again (write-once until drained).
+//!   When a ring is full new records are dropped and counted
+//!   ([`dropped_spans`]) rather than blocking or reallocating.
+//! * **Panic safety.** The [`SpanGuard`] destructor restores the
+//!   thread-local depth to the value captured at entry, so a span
+//!   dropped during unwind leaves the stack exactly as it found it
+//!   even if inner guards were leaked.
+
+use std::cell::{Cell, OnceCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Records per thread before the ring drops new spans (~640 KiB).
+pub const RING_CAPACITY: usize = 16_384;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static OBS_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static RINGS: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
+
+/// Enable or disable span recording process-wide.
+///
+/// Enabling also pins the trace epoch (the zero point of
+/// [`SpanRecord::start_ns`]) if it is not pinned yet.
+pub fn set_tracing(enabled: bool) {
+    if enabled {
+        EPOCH.get_or_init(Instant::now);
+    }
+    ENABLED.store(enabled, Ordering::Release);
+}
+
+/// Whether span recording is currently enabled.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    !cfg!(feature = "off") && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of heap allocations the observability layer itself has
+/// performed (ring buffers, registry growth, metric registration).
+///
+/// Steady-state tracing — and the entire disabled path — performs
+/// none, so a flat reading across a workload is the layer's
+/// "no hidden allocations" assertion, mirroring the core crate's
+/// `workspace_allocations()` counter.
+pub fn allocations() -> u64 {
+    OBS_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Internal: count obs-layer allocation events (see [`allocations`]).
+pub(crate) fn count_alloc(n: u64) {
+    OBS_ALLOCS.fetch_add(n, Ordering::Relaxed);
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[inline]
+fn ns_since_epoch(t: Instant) -> u64 {
+    t.saturating_duration_since(epoch()).as_nanos() as u64
+}
+
+/// What a ring slot describes: a timed span or an instantaneous event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A scope with a duration (`dur_ns` is the elapsed time).
+    Span,
+    /// A point-in-time marker (`dur_ns == 0`).
+    Event,
+}
+
+/// One completed span or event, as drained by [`take_spans`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpanRecord {
+    /// Static span name (taxonomy: `layer.phase`, e.g. `spkadd.symbolic`).
+    pub name: &'static str,
+    /// Dense per-process thread index (registration order, not OS id).
+    pub thread: u32,
+    /// Nesting depth at which the span ran (0 = root).
+    pub depth: u16,
+    /// Span or event.
+    pub kind: SpanKind,
+    /// Start time in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for events).
+    pub dur_ns: u64,
+}
+
+const EMPTY_RECORD: SpanRecord = SpanRecord {
+    name: "",
+    thread: 0,
+    depth: 0,
+    kind: SpanKind::Event,
+    start_ns: 0,
+    dur_ns: 0,
+};
+
+struct Ring {
+    thread: u32,
+    slots: Box<[std::cell::UnsafeCell<SpanRecord>]>,
+    /// Published record count. Only the owner thread stores (Release);
+    /// drainers load (Acquire).
+    len: AtomicUsize,
+    /// Drained prefix; only mutated under the `RINGS` lock.
+    taken: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slot `i` is written exactly once, by the owner thread, before
+// `len` is published past `i` with Release ordering; every other thread
+// only reads slots below an Acquire-loaded `len`. A slot below the
+// published length is therefore immutable for as long as it is visible.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn push(&self, rec: SpanRecord) {
+        let len = self.len.load(Ordering::Relaxed);
+        if len == self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: only the owner thread calls `push`, and slot `len` is
+        // not yet published, so no other thread may be reading it.
+        unsafe { *self.slots[len].get() = rec };
+        self.len.store(len + 1, Ordering::Release);
+    }
+}
+
+struct ThreadObs {
+    ring: OnceCell<Arc<Ring>>,
+    depth: Cell<u16>,
+}
+
+impl ThreadObs {
+    fn ring(&self) -> &Arc<Ring> {
+        self.ring.get_or_init(|| {
+            let thread = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            let slots: Box<[_]> = (0..RING_CAPACITY)
+                .map(|_| std::cell::UnsafeCell::new(EMPTY_RECORD))
+                .collect();
+            let ring = Arc::new(Ring {
+                thread,
+                slots,
+                len: AtomicUsize::new(0),
+                taken: AtomicUsize::new(0),
+                dropped: AtomicU64::new(0),
+            });
+            // Ring slots + Arc + registry growth: three allocation
+            // events, all one-time per thread.
+            count_alloc(3);
+            RINGS.lock().unwrap().push(Arc::clone(&ring));
+            ring
+        })
+    }
+
+    fn record(&self, name: &'static str, depth: u16, kind: SpanKind, start: Instant, dur: u64) {
+        let ring = self.ring();
+        ring.push(SpanRecord {
+            name,
+            thread: ring.thread,
+            depth,
+            kind,
+            start_ns: ns_since_epoch(start),
+            dur_ns: dur,
+        });
+    }
+}
+
+thread_local! {
+    static THREAD_OBS: ThreadObs = const {
+        ThreadObs { ring: OnceCell::new(), depth: Cell::new(0) }
+    };
+}
+
+/// RAII guard for an open span; records on drop.
+///
+/// Bind it — `let _span = spk_obs::span!("name");` — a bare `let _ =`
+/// drops immediately and records a zero-length span.
+pub struct SpanGuard {
+    name: &'static str,
+    /// `None` means tracing was disabled at entry: drop is a no-op.
+    start: Option<Instant>,
+    prev_depth: u16,
+}
+
+/// Open a span. Prefer the [`span!`](crate::span!) macro.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard {
+            name,
+            start: None,
+            prev_depth: 0,
+        };
+    }
+    let prev_depth = THREAD_OBS
+        .try_with(|t| {
+            let d = t.depth.get();
+            t.depth.set(d.saturating_add(1));
+            d
+        })
+        .unwrap_or(0);
+    SpanGuard {
+        name,
+        start: Some(Instant::now()),
+        prev_depth,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let dur = start.elapsed().as_nanos() as u64;
+            // `try_with` so a drop racing thread teardown stays silent.
+            let _ = THREAD_OBS.try_with(|t| {
+                // Restore — not decrement — the depth: even if inner
+                // guards were leaked or dropped out of order (unwind),
+                // the stack ends up exactly where this span found it.
+                t.depth.set(self.prev_depth);
+                t.record(self.name, self.prev_depth, SpanKind::Span, start, dur);
+            });
+        }
+    }
+}
+
+/// Record an instantaneous event at the current span depth.
+/// Prefer the [`event!`](crate::event!) macro.
+#[inline]
+pub fn event(name: &'static str) {
+    if !tracing_enabled() {
+        return;
+    }
+    let now = Instant::now();
+    let _ = THREAD_OBS.try_with(|t| {
+        t.record(name, t.depth.get(), SpanKind::Event, now, 0);
+    });
+}
+
+/// Time `f`, recording a span with the *same* measurement that is
+/// returned — so stats built from the return value (e.g. the core
+/// crate's `ExecuteStats` phases) are bit-identical to the trace.
+///
+/// When tracing is disabled this is exactly `Instant::now` + `f()` +
+/// `elapsed`: no thread-local access, no allocation.
+#[inline]
+pub fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let out = f();
+    let dur = start.elapsed();
+    record_explicit(name, start, dur);
+    (out, dur)
+}
+
+/// Record an already-measured span (used by [`timed`]; public so
+/// callers that must own the `Instant` arithmetic can still trace).
+#[inline]
+pub fn record_explicit(name: &'static str, start: Instant, dur: Duration) {
+    if !tracing_enabled() {
+        return;
+    }
+    let _ = THREAD_OBS.try_with(|t| {
+        t.record(
+            name,
+            t.depth.get(),
+            SpanKind::Span,
+            start,
+            dur.as_nanos() as u64,
+        );
+    });
+}
+
+/// Drain every thread's ring: returns all records published since the
+/// last drain, ordered by `(thread, start_ns)`.
+pub fn take_spans() -> Vec<SpanRecord> {
+    let rings = RINGS.lock().unwrap();
+    let mut out = Vec::new();
+    for ring in rings.iter() {
+        let len = ring.len.load(Ordering::Acquire);
+        let taken = ring.taken.load(Ordering::Relaxed);
+        for slot in &ring.slots[taken..len] {
+            // SAFETY: indices below the Acquire-loaded `len` are
+            // published and never written again (see `Ring`).
+            out.push(unsafe { *slot.get() });
+        }
+        ring.taken.store(len, Ordering::Relaxed);
+    }
+    out.sort_by_key(|r| (r.thread, r.start_ns, r.depth));
+    out
+}
+
+/// Total records dropped because a ring was full.
+pub fn dropped_spans() -> u64 {
+    let rings = RINGS.lock().unwrap();
+    rings
+        .iter()
+        .map(|r| r.dropped.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Open a span bound to a guard: `let _span = spk_obs::span!("stream.flush");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::span($name)
+    };
+}
+
+/// Record an instantaneous event: `spk_obs::event!("kway.dispatch.hash");`
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::span::event($name)
+    };
+}

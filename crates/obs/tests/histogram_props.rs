@@ -1,0 +1,108 @@
+//! Property tests for the log2 histogram: snapshot merge is associative
+//! and commutative (the property that makes per-shard histograms safe to
+//! fold in any order), bucket edges round-trip through `bucket_index`,
+//! and merged quantiles stay within the merged value range.
+
+use proptest::prelude::*;
+use spk_obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn bucket_edges_round_trip() {
+    // Every bucket's own bounds must map back to that bucket — the
+    // covering is exact and gap-free.
+    for b in 0..HISTOGRAM_BUCKETS {
+        let (lo, hi) = bucket_bounds(b);
+        assert_eq!(bucket_index(lo), b, "lo bound of bucket {b}");
+        assert_eq!(bucket_index(hi), b, "hi bound of bucket {b}");
+        if b + 1 < HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(hi + 1), b + 1, "hi+1 spills into {}", b + 1);
+        }
+    }
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, b) == merge(b, a), field for field.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..1 << 40, 0..60),
+        b in proptest::collection::vec(0u64..1 << 40, 0..60),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab.count, ba.count);
+        prop_assert_eq!(ab.sum, ba.sum);
+        prop_assert_eq!(ab.buckets, ba.buckets);
+    }
+
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c), field for field.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..1 << 40, 0..40),
+        b in proptest::collection::vec(0u64..1 << 40, 0..40),
+        c in proptest::collection::vec(0u64..1 << 40, 0..40),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.count, right.count);
+        prop_assert_eq!(left.sum, right.sum);
+        prop_assert_eq!(left.buckets, right.buckets);
+    }
+
+    /// A merged snapshot equals the snapshot of the concatenated stream.
+    #[test]
+    fn merge_equals_concatenation(
+        a in proptest::collection::vec(0u64..1 << 40, 0..60),
+        b in proptest::collection::vec(0u64..1 << 40, 0..60),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+        let direct = snapshot_of(&concat);
+        prop_assert_eq!(merged.count, direct.count);
+        prop_assert_eq!(merged.sum, direct.sum);
+        prop_assert_eq!(merged.buckets, direct.buckets);
+    }
+
+    /// Recorded values land in the bucket whose bounds contain them, the
+    /// count totals match, and quantiles return a real bucket bound at
+    /// or above the true quantile's bucket.
+    #[test]
+    fn record_respects_bucket_bounds(
+        values in proptest::collection::vec(0u64..1 << 40, 1..80),
+    ) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+        for &v in &values {
+            let b = bucket_index(v);
+            let (lo, hi) = bucket_bounds(b);
+            prop_assert!(lo <= v && v <= hi, "{v} outside bucket {b} [{lo}, {hi}]");
+            prop_assert!(snap.buckets[b] > 0);
+        }
+        let max = *values.iter().max().unwrap();
+        // p100 is the hi bound of the max value's bucket.
+        prop_assert_eq!(snap.quantile(1.0), bucket_bounds(bucket_index(max)).1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Span stack behavior under nesting, unwinding, and the disabled path.
+//!
+//! Tracing state and the drain are process-global, so every test takes
+//! one shared lock and filters drained records by its own span names.
+
+use spk_obs::{set_tracing, take_spans, SpanKind, SpanRecord};
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn drain_named(prefix: &str) -> Vec<SpanRecord> {
+    take_spans()
+        .into_iter()
+        .filter(|s| s.name.starts_with(prefix))
+        .collect()
+}
+
+#[test]
+fn nesting_depths_and_ordering() {
+    let _g = lock();
+    set_tracing(true);
+    take_spans();
+    {
+        let _a = spk_obs::span!("nest.a");
+        {
+            let _b = spk_obs::span!("nest.b");
+            let _c = spk_obs::span!("nest.c");
+        }
+    }
+    set_tracing(false);
+    let spans = drain_named("nest.");
+    assert_eq!(spans.len(), 3);
+    // Drained order is (thread, start_ns): outermost first.
+    assert_eq!(spans[0].name, "nest.a");
+    assert_eq!(spans[0].depth, 0);
+    assert_eq!(spans[1].name, "nest.b");
+    assert_eq!(spans[1].depth, 1);
+    assert_eq!(spans[2].name, "nest.c");
+    assert_eq!(spans[2].depth, 2);
+    for s in &spans {
+        assert_eq!(s.kind, SpanKind::Span);
+        assert!(s.start_ns >= spans[0].start_ns);
+        assert!(s.start_ns + s.dur_ns <= spans[0].start_ns + spans[0].dur_ns);
+    }
+}
+
+#[test]
+fn events_record_at_current_depth_with_zero_duration() {
+    let _g = lock();
+    set_tracing(true);
+    take_spans();
+    {
+        let _a = spk_obs::span!("evt.scope");
+        spk_obs::event!("evt.inner");
+    }
+    spk_obs::event!("evt.root");
+    set_tracing(false);
+    let spans = drain_named("evt.");
+    let inner = spans.iter().find(|s| s.name == "evt.inner").unwrap();
+    assert_eq!(inner.kind, SpanKind::Event);
+    assert_eq!(inner.depth, 1);
+    assert_eq!(inner.dur_ns, 0);
+    let root = spans.iter().find(|s| s.name == "evt.root").unwrap();
+    assert_eq!(root.depth, 0);
+}
+
+#[test]
+fn unwind_restores_depth_and_still_records() {
+    let _g = lock();
+    set_tracing(true);
+    take_spans();
+    let result = std::panic::catch_unwind(|| {
+        let _outer = spk_obs::span!("panic.outer");
+        let _inner = spk_obs::span!("panic.inner");
+        panic!("boom");
+    });
+    assert!(result.is_err());
+    // The stack must be back at depth 0: a fresh span records as root.
+    {
+        let _after = spk_obs::span!("panic.after");
+    }
+    set_tracing(false);
+    let spans = drain_named("panic.");
+    let after = spans.iter().find(|s| s.name == "panic.after").unwrap();
+    assert_eq!(after.depth, 0, "unwind must restore the span stack");
+    // Both unwound spans were still recorded at their true depths.
+    assert_eq!(
+        spans
+            .iter()
+            .find(|s| s.name == "panic.outer")
+            .unwrap()
+            .depth,
+        0
+    );
+    assert_eq!(
+        spans
+            .iter()
+            .find(|s| s.name == "panic.inner")
+            .unwrap()
+            .depth,
+        1
+    );
+}
+
+#[test]
+fn disabled_path_records_nothing() {
+    let _g = lock();
+    set_tracing(false);
+    take_spans();
+    {
+        let _s = spk_obs::span!("off.span");
+        spk_obs::event!("off.event");
+        let (v, dur) = spk_obs::timed("off.timed", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(dur.as_nanos() < u128::from(u64::MAX));
+    }
+    assert!(drain_named("off.").is_empty());
+}
+
+#[test]
+fn timed_span_matches_returned_measurement() {
+    let _g = lock();
+    set_tracing(true);
+    take_spans();
+    let (sum, dur) = spk_obs::timed("timed.loop", || (0u64..1000).sum::<u64>());
+    set_tracing(false);
+    assert_eq!(sum, 499_500);
+    let spans = drain_named("timed.");
+    assert_eq!(spans.len(), 1);
+    assert_eq!(
+        spans[0].dur_ns,
+        dur.as_nanos() as u64,
+        "the trace must carry the same measurement timed() returned"
+    );
+}
+
+#[test]
+fn toggling_mid_span_never_corrupts_the_stack() {
+    let _g = lock();
+    set_tracing(false);
+    take_spans();
+    // Guard opened while disabled stays disarmed even if tracing turns
+    // on before it drops — it must not record or touch the depth.
+    {
+        let _disarmed = spk_obs::span!("toggle.disarmed");
+        set_tracing(true);
+        {
+            let _live = spk_obs::span!("toggle.live");
+        }
+    }
+    set_tracing(false);
+    let spans = drain_named("toggle.");
+    assert_eq!(spans.len(), 1);
+    assert_eq!(spans[0].name, "toggle.live");
+    assert_eq!(spans[0].depth, 0);
+}

@@ -1,0 +1,97 @@
+//! The disabled tracing path performs literally zero heap allocations,
+//! asserted with a counting global allocator; the enabled steady state
+//! (ring already created) also records allocation-free.
+//!
+//! Single test function on purpose: the allocation counter is global,
+//! so concurrent tests in this binary would contaminate the deltas.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers to the system allocator; only adds a relaxed counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn tracing_paths_are_allocation_free() {
+    // --- disabled path: zero global allocations, zero obs allocations.
+    spk_obs::set_tracing(false);
+    let obs_before = spk_obs::allocations();
+    let before = alloc_calls();
+    let mut acc = 0u64;
+    for i in 0..10_000u64 {
+        let _span = spk_obs::span!("alloc.disabled.span");
+        spk_obs::event!("alloc.disabled.event");
+        let (v, _dur) = spk_obs::timed("alloc.disabled.timed", || i * 2);
+        acc = acc.wrapping_add(v);
+    }
+    assert_eq!(
+        alloc_calls() - before,
+        0,
+        "disabled tracing must not allocate"
+    );
+    assert_eq!(
+        spk_obs::allocations(),
+        obs_before,
+        "disabled tracing must not count obs allocations either"
+    );
+    assert_eq!(acc, 10_000 * 9_999);
+
+    // --- enabled steady state: after the one-time ring creation,
+    // recording into the ring is allocation-free too.
+    spk_obs::set_tracing(true);
+    {
+        // Warm-up: creates and registers this thread's ring.
+        let _warm = spk_obs::span!("alloc.warmup");
+    }
+    let ring_allocs = spk_obs::allocations() - obs_before;
+    assert!(
+        ring_allocs > 0,
+        "ring creation is the one-time cost the counter reports"
+    );
+    let before = alloc_calls();
+    for _ in 0..1_000u64 {
+        let _span = spk_obs::span!("alloc.enabled.span");
+        spk_obs::event!("alloc.enabled.event");
+    }
+    assert_eq!(
+        alloc_calls() - before,
+        0,
+        "steady-state recording must not allocate"
+    );
+    assert_eq!(
+        spk_obs::allocations() - obs_before,
+        ring_allocs,
+        "no further obs allocations past ring creation"
+    );
+    spk_obs::set_tracing(false);
+
+    // Draining allocates (it returns a Vec) — but that is the reader's
+    // cost, outside the instrumented hot path.
+    let spans = spk_obs::take_spans();
+    assert!(spans.iter().any(|s| s.name == "alloc.enabled.span"));
+}

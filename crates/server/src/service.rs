@@ -18,6 +18,7 @@
 
 use crate::plan::ShardPlan;
 use crate::ServerError;
+use spk_obs::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 use spk_sparse::{CscMatrix, Element, Scalar, SparseError};
 use spkadd::sliding::budget_entries;
 use spkadd::{
@@ -30,6 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Configuration for [`AggregatorService`].
 #[derive(Debug, Clone)]
@@ -112,6 +114,9 @@ enum Msg<T: Element> {
     Slice {
         key: Arc<str>,
         slab: CscMatrix<T>,
+        /// When `submit` accepted the parent matrix; the shard records
+        /// `submitted_at → flush` latency when the slab's batch flushes.
+        submitted_at: Instant,
     },
     /// Round 1 of finalize: flush the key's accumulator, stash the
     /// partial, answer its per-column counts.
@@ -127,15 +132,46 @@ enum Msg<T: Element> {
     Shutdown,
 }
 
-#[derive(Debug, Default)]
-struct ShardCounters {
-    slices: AtomicU64,
-    batches_flushed: AtomicU64,
-    pattern_hits: AtomicU64,
-    pattern_misses: AtomicU64,
+/// Registry-backed handles for one shard's metrics (named
+/// `shard<N>.<metric>` in the service's [`Registry`]). Handles are
+/// resolved once at spawn, so the hot path is the same single relaxed
+/// atomic op the old hand-rolled `AtomicU64` fields cost — migrating
+/// `ShardMetrics`/`ServiceMetrics` onto the registry must not change
+/// any counter value.
+#[derive(Debug)]
+struct ShardInstruments {
+    slices: Arc<Counter>,
+    batches_flushed: Arc<Counter>,
+    pattern_hits: Arc<Counter>,
+    pattern_misses: Arc<Counter>,
     /// Chunks dispatched per numeric kernel, indexed in
     /// [`NumericKernel::ALL`] order.
-    kernels: [AtomicU64; NumericKernel::COUNT],
+    kernels: [Arc<Counter>; NumericKernel::COUNT],
+    /// Slabs sent to the shard's queue and not yet received by the
+    /// worker (bounded by `queue_depth` per producer backpressure).
+    queue_depth: Arc<Gauge>,
+    /// Submit→flush latency per slab, in nanoseconds: from `submit`
+    /// accepting the parent matrix to the batch reduction that folded
+    /// the slab into the shard's running partial. Aggregated over every
+    /// key the shard owns (per-key histograms would be unbounded
+    /// cardinality); [`ServiceMetrics::flush_latency`] merges shards.
+    flush_latency_ns: Arc<Histogram>,
+}
+
+impl ShardInstruments {
+    fn new(registry: &Registry, shard: usize) -> Self {
+        let name = |metric: &str| format!("shard{shard}.{metric}");
+        ShardInstruments {
+            slices: registry.counter(&name("slices")),
+            batches_flushed: registry.counter(&name("batches_flushed")),
+            pattern_hits: registry.counter(&name("pattern.hits")),
+            pattern_misses: registry.counter(&name("pattern.misses")),
+            kernels: NumericKernel::ALL
+                .map(|k| registry.counter(&name(&format!("kernels.{}", k.token())))),
+            queue_depth: registry.gauge(&name("queue_depth")),
+            flush_latency_ns: registry.histogram(&name("submit_to_flush_ns")),
+        }
+    }
 }
 
 /// Point-in-time counters for one shard.
@@ -158,6 +194,13 @@ pub struct ShardMetrics {
     /// [`ServiceConfig::algorithm`]; mixes under adaptive
     /// [`Algorithm::Auto`].
     pub kernel_counts: KernelCounts,
+    /// Slabs queued (or being folded) and not yet flushed-visible; 0
+    /// once the shard is drained (e.g. after a finalize synchronized
+    /// with it).
+    pub queue_depth: i64,
+    /// Submit→flush latency histogram (ns) across every key the shard
+    /// owns.
+    pub flush_latency: HistogramSnapshot,
 }
 
 /// Point-in-time counters for the whole service.
@@ -199,6 +242,60 @@ impl ServiceMetrics {
         }
         total
     }
+
+    /// Total slabs currently queued across all shards.
+    pub fn queue_depth(&self) -> i64 {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Service-wide submit→flush latency: the shard-local histograms
+    /// folded with the associative snapshot merge.
+    pub fn flush_latency(&self) -> HistogramSnapshot {
+        let mut total = HistogramSnapshot::default();
+        for s in &self.shards {
+            total.merge(&s.flush_latency);
+        }
+        total
+    }
+
+    /// The snapshot in report form: one row per shard plus service
+    /// totals — the same `RunReport` shape the benches emit
+    /// (`serve-demo --metrics-json` writes this).
+    pub fn to_report(&self) -> spk_obs::RunReport {
+        let mut report = spk_obs::RunReport::new("spk_server.service");
+        report.threads(self.shards.len().max(1));
+        report.config("shards", self.shards.len());
+        report.config("submitted", self.submitted);
+        for (s, shard) in self.shards.iter().enumerate() {
+            let lat = &shard.flush_latency;
+            report.result(
+                spk_obs::Row::new()
+                    .with("shard", s)
+                    .with("rows", format!("{}..{}", shard.rows.start, shard.rows.end))
+                    .with("slices", shard.slices)
+                    .with("batches_flushed", shard.batches_flushed)
+                    .with("pattern_hits", shard.pattern_hits)
+                    .with("pattern_misses", shard.pattern_misses)
+                    .with("kernels", shard.kernel_counts.to_string())
+                    .with("queue_depth", shard.queue_depth)
+                    .with("flush_latency_p50_ns", lat.quantile(0.5))
+                    .with("flush_latency_p90_ns", lat.quantile(0.9))
+                    .with("flush_latency_mean_ns", lat.mean()),
+            );
+        }
+        report.summary("submitted", self.submitted);
+        report.summary("slices_routed", self.slices_routed());
+        report.summary("batches_flushed", self.batches_flushed());
+        report.summary("pattern_hits", self.pattern_hits());
+        report.summary("pattern_misses", self.pattern_misses());
+        report.summary("kernel_counts", self.kernel_counts().to_string());
+        report.summary("queue_depth", self.queue_depth());
+        let lat = self.flush_latency();
+        report.summary("flush_latency_count", lat.count);
+        report.summary("flush_latency_p50_ns", lat.quantile(0.5));
+        report.summary("flush_latency_p90_ns", lat.quantile(0.9));
+        report
+    }
 }
 
 /// A row-range-sharded, concurrent, keyed SpKAdd aggregation engine.
@@ -216,7 +313,10 @@ pub struct AggregatorService<T: Element, O: Monoid<Value = T> = Plus<T>> {
     algorithm: Algorithm,
     validate_sorted: bool,
     senders: Vec<SyncSender<Msg<T>>>,
-    counters: Vec<Arc<ShardCounters>>,
+    /// Per-service metric registry; shard instruments resolve their
+    /// handles here once at spawn.
+    registry: Arc<Registry>,
+    instruments: Vec<Arc<ShardInstruments>>,
     submitted: AtomicU64,
     workers: Vec<JoinHandle<()>>,
     _monoid: std::marker::PhantomData<O>,
@@ -261,26 +361,27 @@ impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
             ));
         }
         let queue_depth = config.queue_depth.max(1);
+        let registry = Arc::new(Registry::new());
         let mut senders = Vec::with_capacity(shards);
-        let mut counters = Vec::with_capacity(shards);
+        let mut instruments = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for s in 0..shards {
             let (tx, rx) = sync_channel::<Msg<T>>(queue_depth);
-            let ctr = Arc::new(ShardCounters::default());
+            let ins = Arc::new(ShardInstruments::new(&registry, s));
             let shard_rows = plan.range(s).len();
             let algorithm = config.algorithm;
             let opts = shard_opts.clone();
-            let worker_ctr = Arc::clone(&ctr);
+            let worker_ins = Arc::clone(&ins);
             let handle = std::thread::Builder::new()
                 .name(format!("spk-shard-{s}"))
                 .spawn(move || {
                     shard_worker(
-                        rx, shard_rows, ncols, algorithm, policy, opts, monoid, worker_ctr,
+                        rx, shard_rows, ncols, algorithm, policy, opts, monoid, worker_ins,
                     )
                 })
                 .expect("failed to spawn shard worker");
             senders.push(tx);
-            counters.push(ctr);
+            instruments.push(ins);
             workers.push(handle);
         }
         Self {
@@ -289,11 +390,24 @@ impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
             algorithm: config.algorithm,
             validate_sorted: config.opts.validate_sorted,
             senders,
-            counters,
+            registry,
+            instruments,
             submitted: AtomicU64::new(0),
             workers,
             _monoid: std::marker::PhantomData,
         }
+    }
+
+    /// The service's metric registry (`shard<N>.<metric>` names); for
+    /// raw named access — [`AggregatorService::metrics`] is the typed
+    /// view of the same values.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Name-keyed snapshot of every service metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// The service's row partition.
@@ -330,6 +444,7 @@ impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
             }));
         }
         let key: Arc<str> = Arc::from(key);
+        let submitted_at = Instant::now();
         // One pass over the matrix produces every shard's slab. Route to
         // every live shard even if one is down, so the surviving shards
         // stay mutually consistent; the error still reports the outage.
@@ -340,10 +455,14 @@ impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
                 .send(Msg::Slice {
                     key: Arc::clone(&key),
                     slab,
+                    submitted_at,
                 })
                 .is_err()
             {
                 first_down.get_or_insert(ServerError::ShardDown(s));
+            } else {
+                // Decremented by the worker when it dequeues the slab.
+                self.instruments[s].queue_depth.add(1);
             }
         }
         if let Some(e) = first_down {
@@ -499,21 +618,23 @@ impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
         ServiceMetrics {
             submitted: self.submitted.load(Ordering::Relaxed),
             shards: self
-                .counters
+                .instruments
                 .iter()
                 .enumerate()
-                .map(|(s, c)| {
+                .map(|(s, ins)| {
                     let mut kernel_counts = KernelCounts::default();
-                    for (slot, kern) in c.kernels.iter().zip(NumericKernel::ALL) {
-                        kernel_counts.add(kern, slot.load(Ordering::Relaxed));
+                    for (slot, kern) in ins.kernels.iter().zip(NumericKernel::ALL) {
+                        kernel_counts.add(kern, slot.get());
                     }
                     ShardMetrics {
                         rows: self.plan.range(s),
-                        slices: c.slices.load(Ordering::Relaxed),
-                        batches_flushed: c.batches_flushed.load(Ordering::Relaxed),
-                        pattern_hits: c.pattern_hits.load(Ordering::Relaxed),
-                        pattern_misses: c.pattern_misses.load(Ordering::Relaxed),
+                        slices: ins.slices.get(),
+                        batches_flushed: ins.batches_flushed.get(),
+                        pattern_hits: ins.pattern_hits.get(),
+                        pattern_misses: ins.pattern_misses.get(),
                         kernel_counts,
+                        queue_depth: ins.queue_depth.get(),
+                        flush_latency: ins.flush_latency_ns.snapshot(),
                     }
                 })
                 .collect(),
@@ -560,6 +681,11 @@ struct KeyState<T: Element, O: Monoid<Value = T>> {
     /// against the accumulator's running histogram are published after
     /// every flush.
     kernels_seen: KernelCounts,
+    /// Submit timestamps of the slabs buffered in `acc` (zero-nnz slabs
+    /// excluded — the accumulator drops them without ever flushing).
+    /// Drained into the shard's latency histogram when a flush folds
+    /// the whole pending batch.
+    pending_since: Vec<Instant>,
 }
 
 /// Publishes the accumulator's pattern-cache activity since the last
@@ -567,15 +693,15 @@ struct KeyState<T: Element, O: Monoid<Value = T>> {
 fn sync_pattern_counters<T: Element, O: Monoid<Value = T>>(
     acc: &StreamingAccumulator<T, O>,
     seen: &mut (u64, u64),
-    counters: &ShardCounters,
+    instruments: &ShardInstruments,
 ) {
     if let Some(stats) = acc.pattern_stats() {
         let (dh, dm) = (stats.hits - seen.0, stats.misses - seen.1);
         if dh > 0 {
-            counters.pattern_hits.fetch_add(dh, Ordering::Relaxed);
+            instruments.pattern_hits.add(dh);
         }
         if dm > 0 {
-            counters.pattern_misses.fetch_add(dm, Ordering::Relaxed);
+            instruments.pattern_misses.add(dm);
         }
         *seen = (stats.hits, stats.misses);
     }
@@ -586,16 +712,27 @@ fn sync_pattern_counters<T: Element, O: Monoid<Value = T>>(
 fn sync_kernel_counters<T: Element, O: Monoid<Value = T>>(
     acc: &StreamingAccumulator<T, O>,
     seen: &mut KernelCounts,
-    counters: &ShardCounters,
+    instruments: &ShardInstruments,
 ) {
     let now = acc.kernel_counts();
-    for (slot, kern) in counters.kernels.iter().zip(NumericKernel::ALL) {
+    for (slot, kern) in instruments.kernels.iter().zip(NumericKernel::ALL) {
         let delta = now.get(kern) - seen.get(kern);
         if delta > 0 {
-            slot.fetch_add(delta, Ordering::Relaxed);
+            slot.add(delta);
         }
     }
     *seen = now;
+}
+
+/// Drains the pending submit timestamps into the shard's latency
+/// histogram — called after a flush folded the whole pending batch.
+fn record_flush_latencies(pending_since: &mut Vec<Instant>, instruments: &ShardInstruments) {
+    let now = Instant::now();
+    for t in pending_since.drain(..) {
+        instruments
+            .flush_latency_ns
+            .record(now.saturating_duration_since(t).as_nanos() as u64);
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -607,7 +744,7 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
     policy: FlushPolicy,
     opts: Options,
     monoid: O,
-    counters: Arc<ShardCounters>,
+    instruments: Arc<ShardInstruments>,
 ) {
     let mut keys: HashMap<Arc<str>, KeyState<T, O>> = HashMap::new();
     // Partials flushed by a round-1 `Finalize`, awaiting their round-2
@@ -615,8 +752,13 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
     let mut stash: HashMap<Arc<str>, CscMatrix<T>> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Slice { key, slab } => {
-                counters.slices.fetch_add(1, Ordering::Relaxed);
+            Msg::Slice {
+                key,
+                slab,
+                submitted_at,
+            } => {
+                instruments.queue_depth.sub(1);
+                instruments.slices.inc();
                 let state = keys.entry(key).or_insert_with(|| KeyState {
                     acc: StreamingAccumulator::with_monoid(
                         shard_rows,
@@ -629,19 +771,27 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
                     error: None,
                     pattern_seen: (0, 0),
                     kernels_seen: KernelCounts::default(),
+                    pending_since: Vec::new(),
                 });
                 if state.error.is_none() {
+                    // The accumulator drops zero-nnz slabs without ever
+                    // flushing them, so they get no latency sample.
+                    if slab.nnz() > 0 {
+                        state.pending_since.push(submitted_at);
+                    }
                     let before = state.acc.batches_flushed();
                     if let Err(e) = state.acc.push(slab) {
                         state.error = Some(e);
+                        state.pending_since.clear();
                     }
                     let flushed = state.acc.batches_flushed() - before;
                     if flushed > 0 {
-                        counters
-                            .batches_flushed
-                            .fetch_add(flushed as u64, Ordering::Relaxed);
-                        sync_pattern_counters(&state.acc, &mut state.pattern_seen, &counters);
-                        sync_kernel_counters(&state.acc, &mut state.kernels_seen, &counters);
+                        instruments.batches_flushed.add(flushed as u64);
+                        sync_pattern_counters(&state.acc, &mut state.pattern_seen, &instruments);
+                        sync_kernel_counters(&state.acc, &mut state.kernels_seen, &instruments);
+                        // A flush folds the entire pending batch
+                        // (including the slab that triggered it).
+                        record_flush_latencies(&mut state.pending_since, &instruments);
                     }
                 }
             }
@@ -654,6 +804,7 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
                         error: None,
                         mut pattern_seen,
                         mut kernels_seen,
+                        mut pending_since,
                     }) => {
                         // Flush the tail batch explicitly so its
                         // pattern-cache activity is still observable
@@ -663,10 +814,11 @@ fn shard_worker<T: Element, O: Monoid<Value = T>>(
                             Err(e) => ShardReply::Failed(e),
                             Ok(()) => {
                                 if had_pending {
-                                    counters.batches_flushed.fetch_add(1, Ordering::Relaxed);
-                                    sync_pattern_counters(&acc, &mut pattern_seen, &counters);
+                                    instruments.batches_flushed.inc();
+                                    sync_pattern_counters(&acc, &mut pattern_seen, &instruments);
                                 }
-                                sync_kernel_counters(&acc, &mut kernels_seen, &counters);
+                                sync_kernel_counters(&acc, &mut kernels_seen, &instruments);
+                                record_flush_latencies(&mut pending_since, &instruments);
                                 match acc.finish() {
                                     Ok(partial) => {
                                         let counts = partial.col_nnz_counts();
@@ -919,5 +1071,104 @@ mod tests {
         let svc = AggregatorService::<f64>::new(8, 8, ServiceConfig::with_shards(2));
         svc.submit("job", &shifted_diag(8, 0)).unwrap();
         svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn registry_metrics_bit_identical_to_direct_accumulator() {
+        // The registry migration is observability plumbing, not
+        // accounting: a 1-shard service must report exactly the values a
+        // directly-driven StreamingAccumulator accrues for the same
+        // stream.
+        let mats: Vec<CscMatrix<f64>> = (0..8).map(|i| shifted_diag(16, i % 5)).collect();
+        let config = ServiceConfig::with_shards(1)
+            .with_flush(FlushPolicy::Matrices(2))
+            .with_pattern_cache(2);
+        let svc = AggregatorService::new(16, 16, config);
+        for m in &mats {
+            svc.submit("job", m).unwrap();
+        }
+        svc.finalize("job").unwrap();
+        let metrics = svc.metrics();
+
+        // Mirror the worker's accumulator: threads=1 options, the shared
+        // table budget for a single sharer, same policy + pattern cache.
+        let mut opts = Options::default().with_threads(1);
+        opts.pattern_cache = 2;
+        opts.forced_table_entries = Some(budget_entries(
+            opts.cache.llc_bytes,
+            numeric_entry_bytes::<f64>(),
+            1,
+        ));
+        let mut acc = StreamingAccumulator::<f64>::with_policy(
+            16,
+            16,
+            FlushPolicy::Matrices(2),
+            Algorithm::Hash,
+            opts,
+        );
+        for m in &mats {
+            acc.push(m.clone()).unwrap();
+        }
+        acc.flush().unwrap();
+
+        assert_eq!(metrics.slices_routed(), mats.len() as u64);
+        assert_eq!(metrics.batches_flushed(), acc.batches_flushed() as u64);
+        let stats = acc.pattern_stats().expect("pattern cache enabled");
+        assert_eq!(metrics.pattern_hits(), stats.hits);
+        assert_eq!(metrics.pattern_misses(), stats.misses);
+        assert_eq!(metrics.kernel_counts(), acc.kernel_counts());
+
+        // The raw registry snapshot agrees with the ShardMetrics view.
+        let snap = svc.metrics_snapshot();
+        assert_eq!(snap.counter("shard0.slices"), Some(metrics.slices_routed()));
+        assert_eq!(
+            snap.counter("shard0.batches_flushed"),
+            Some(metrics.batches_flushed())
+        );
+        assert_eq!(snap.counter("shard0.pattern.hits"), Some(stats.hits));
+        assert_eq!(snap.counter("shard0.pattern.misses"), Some(stats.misses));
+        assert_eq!(
+            snap.counter("shard0.kernels.hash"),
+            Some(acc.kernel_counts().get(NumericKernel::Hash))
+        );
+    }
+
+    #[test]
+    fn queue_depth_gauge_drains_to_zero() {
+        let svc = AggregatorService::new(16, 16, ServiceConfig::with_shards(2));
+        for i in 0..6 {
+            svc.submit("job", &shifted_diag(16, i)).unwrap();
+        }
+        // Finalize synchronizes with every worker (FIFO queues), so all
+        // Slice messages were dequeued by the time it returns.
+        svc.finalize("job").unwrap();
+        let metrics = svc.metrics();
+        assert_eq!(metrics.queue_depth(), 0, "drained queues read depth 0");
+        for shard in &metrics.shards {
+            assert_eq!(shard.queue_depth, 0);
+        }
+    }
+
+    #[test]
+    fn flush_latency_histogram_samples_every_flushed_slab() {
+        let config = ServiceConfig::with_shards(2).with_flush(FlushPolicy::Matrices(2));
+        let mats: Vec<CscMatrix<f64>> = (0..8).map(|i| shifted_diag(16, i % 5)).collect();
+        let svc = AggregatorService::new(16, 16, config);
+        for m in &mats {
+            svc.submit("job", m).unwrap();
+        }
+        svc.finalize("job").unwrap();
+        let lat = svc.metrics().flush_latency();
+        // Every shifted-diagonal slab keeps entries in both 8-row shards,
+        // and Matrices(2) flushes them all before finalize.
+        assert_eq!(lat.count, 16, "one latency sample per flushed slab");
+        assert_eq!(
+            lat.count,
+            lat.buckets.iter().sum::<u64>(),
+            "bucket counts account for every sample"
+        );
+        let report = svc.metrics().to_report();
+        let json = report.json_string();
+        spk_obs::schema::validate_str(&json).expect("service report validates");
     }
 }

@@ -52,13 +52,20 @@ spkadd-cli — SpKAdd over Matrix Market files
 
 USAGE:
   spkadd-cli add  [--algorithm NAME] [--out FILE] [--unsorted]
-                  [--no-adaptive] [--pattern-cache N] [--repeat N] FILES...
+                  [--no-adaptive] [--pattern-cache N] [--repeat N]
+                  [--trace-json FILE] FILES...
   spkadd-cli stats FILES...
   spkadd-cli gen  [--pattern er|rmat] [--rows R] [--cols C] [--d D] [--k K]
                   [--seed S] --out-dir DIR
   spkadd-cli serve-demo [--shards S] [--keys K] [--matrices N] [--rows R]
                   [--cols C] [--d D] [--pattern er|rmat] [--producers P]
-                  [--algorithm NAME] [--seed S]
+                  [--algorithm NAME] [--seed S] [--metrics-json FILE]
+
+Observability:
+  --trace-json FILE    enable span tracing for the run, print the span
+                       tree to stderr, write the spk_obs.trace.v1 JSON
+  --metrics-json FILE  write the service metrics as a
+                       spk_obs.run_report.v1 JSON report
 
 Algorithms: hash (default), sliding-hash, spa, sliding-spa, heap,
             2way-tree, 2way-incremental, lib-tree, lib-incremental, auto
@@ -138,6 +145,10 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
     let no_adaptive = args.iter().any(|a| a == "--no-adaptive");
     let cache_cap: usize = parsed_flag(args, "--pattern-cache", 0)?;
     let repeat: usize = parsed_flag(args, "--repeat", 1)?.max(1);
+    let trace_json = flag_value(args, "--trace-json");
+    if trace_json.is_some() {
+        spkadd_suite::obs::set_tracing(true);
+    }
     let mats = load_all(&positional(args))?;
     let refs: Vec<&CscMatrix<f64>> = mats.iter().collect();
     let (nrows, ncols) = common_shape(&refs).map_err(|e| e.to_string())?;
@@ -181,6 +192,14 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
     );
     if alg == Algorithm::Auto {
         eprintln!("kernels: {}", stats.kernel_counts);
+    }
+    if let Some(path) = trace_json {
+        let spans = spkadd_suite::obs::take_spans();
+        let dropped = spkadd_suite::obs::dropped_spans();
+        let doc = spkadd_suite::obs::trace_json(&spans, dropped);
+        std::fs::write(path, doc.to_string_pretty()).map_err(|e| format!("{path}: {e}"))?;
+        eprint!("{}", spkadd_suite::obs::render_span_tree(&spans));
+        eprintln!("trace: {} spans ({dropped} dropped) → {path}", spans.len());
     }
     match out {
         Some(path) => io::write_matrix_market(path, &sum).map_err(|e| e.to_string())?,
@@ -324,6 +343,14 @@ fn cmd_serve_demo(args: &[String]) -> Result<(), String> {
             "  shard rows {:>7}..{:<7} | {:>5} slices | {:>4} flushes",
             s.rows.start, s.rows.end, s.slices, s.batches_flushed
         );
+    }
+    if let Some(path) = flag_value(args, "--metrics-json") {
+        let report = m.to_report();
+        report
+            .write_json_file(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprint!("{}", report.human_table());
+        eprintln!("metrics report → {path}");
     }
     Ok(())
 }

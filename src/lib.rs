@@ -10,13 +10,16 @@
 //!   ([`spk_summa`]);
 //! * [`cachesim`] — the trace-driven cache simulator ([`spk_cachesim`]);
 //! * [`server`] — the sharded, concurrent SpKAdd aggregation service
-//!   ([`spk_server`]).
+//!   ([`spk_server`]);
+//! * [`obs`] — span tracing, metrics registry, and machine-readable run
+//!   reports ([`spk_obs`]).
 //!
 //! See `examples/quickstart.rs` for a three-minute tour and DESIGN.md for
 //! the map from paper sections to modules.
 
 pub use spk_cachesim as cachesim;
 pub use spk_gen as gen;
+pub use spk_obs as obs;
 pub use spk_server as server;
 pub use spk_sparse as sparse;
 pub use spk_spgemm as spgemm;
