@@ -10,6 +10,10 @@
 //! `--rows/--cols/--k/--d/--threads` overrides plus `--full` for
 //! paper-scale parameters (see EXPERIMENTS.md for what was actually run).
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 pub mod tables;
 
 use spk_sparse::CscMatrix;

@@ -12,6 +12,10 @@
 //! models it — by giving the simulated thread a `1/T` share of the LLC
 //! (see the Table V harness in `spk-bench`).
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 use spkadd::mem::MemModel;
 
 /// Hit/miss counters for one cache level.

@@ -1,0 +1,47 @@
+//! Exit-coded repo-invariant lint pass (see `spk_check::lint` for the
+//! rule catalogue). Usage: `spk-lint [workspace-root]` — defaults to
+//! the current directory. Exit 0 when clean, 1 on violations, 2 on
+//! I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args_os()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "spk-lint: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match spk_check::lint::run(&root) {
+        Ok(report) => {
+            if report.clean() {
+                println!(
+                    "spk-lint: clean ({} files scanned, rules: {})",
+                    report.files_scanned,
+                    spk_check::lint::RULES.join(", ")
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    println!("{v}");
+                }
+                println!(
+                    "spk-lint: {} violation(s) in {} files scanned",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("spk-lint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

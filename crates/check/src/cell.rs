@@ -1,0 +1,82 @@
+//! A race-tracked `UnsafeCell`.
+//!
+//! Inside a model execution, every access is a scheduling point and is
+//! checked against the happens-before relation: an access that is not
+//! ordered after all earlier conflicting accesses is reported as a
+//! data race — even when the serialized execution happens to read the
+//! "right" value. Outside a model execution the closures run directly
+//! on the raw pointer with zero tracking.
+//!
+//! The closure-based API (`with` / `with_mut`) mirrors loom: it brackets
+//! the access so the checker knows its extent. The caller's safety
+//! obligations are exactly those of `std::cell::UnsafeCell` — this type
+//! only *detects* violations under the model, it does not make raw
+//! access safe.
+
+use crate::rt;
+
+/// Dual-mode counterpart of `std::cell::UnsafeCell`; see the module
+/// docs.
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T> {
+    inner: std::cell::UnsafeCell<T>,
+    id: rt::ObjId,
+}
+
+// SAFETY: cross-thread sharing is this type's purpose — the model
+// checker exists to *detect* unsynchronized concurrent access, so the
+// type must be shareable for racy protocols to be expressible at all.
+// All actual data access goes through `with`/`with_mut`, which only
+// hand out raw pointers; dereferencing those requires `unsafe` at the
+// call site, where the caller carries exactly `std::cell::UnsafeCell`'s
+// obligations. (Same stance as loom's `cell::UnsafeCell`.)
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+
+// SAFETY: as for `Send` above — shared references only expose raw
+// pointers; the soundness burden sits on the `unsafe` dereference at
+// the call site, and the checker reports conflicting access.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub const fn new(v: T) -> Self {
+        UnsafeCell {
+            inner: std::cell::UnsafeCell::new(v),
+            id: rt::ObjId::unset(),
+        }
+    }
+
+    /// Immutable (read) access. A model-mode race with any concurrent
+    /// write fails the execution.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some(ctx) = rt::current() {
+            rt::cell_read(&ctx, self.id.get());
+        }
+        f(self.inner.get())
+    }
+
+    /// Mutable (write) access. A model-mode race with any concurrent
+    /// read or write fails the execution.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some(ctx) = rt::current() {
+            rt::cell_write(&ctx, self.id.get());
+        }
+        f(self.inner.get())
+    }
+
+    /// Raw pointer escape hatch — untracked, like std. Prefer
+    /// [`Self::with`] / [`Self::with_mut`] so the checker sees the
+    /// access.
+    pub fn get(&self) -> *mut T {
+        self.inner.get()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}

@@ -1,0 +1,276 @@
+//! Correctness tooling for the SpKAdd workspace.
+//!
+//! Two halves, both std-only (the build environment has no loom, no
+//! sanitizers, no syn):
+//!
+//! * [`model`] / [`Builder`] — a loom-style deterministic-scheduling
+//!   model checker. Write a closure over [`thread`], [`sync`], and
+//!   [`cell`] primitives; the checker runs it under every interleaving
+//!   (bounded DFS with branch replay, or a seeded random walk) and
+//!   reports deadlocks, lost condvar notifications, data races on
+//!   [`cell::UnsafeCell`] state, and panics, together with the
+//!   schedule trace that produced them. The scheduling model and
+//!   happens-before machinery are documented in the private `rt`
+//!   module's docs (see `src/rt.rs`).
+//!
+//! * [`lint`] and the `spk-lint` binary — a repo-invariant lint pass
+//!   enforcing rules clippy can't express (SAFETY comments, timing
+//!   discipline, shim parity, bench schema tags). See [`lint`] for the
+//!   rule catalogue.
+//!
+//! # Dual-mode primitives
+//!
+//! Every primitive in [`sync`] / [`cell`] / [`thread`] checks at run
+//! time whether the current OS thread belongs to a live model
+//! execution. Outside one they delegate straight to `std`, so crates
+//! compiled with `--cfg spk_model` (which swaps their sync imports
+//! onto this crate) still run normally in ordinary tests and binaries;
+//! only code reached from inside [`model`]'s closure is scheduled and
+//! checked.
+//!
+//! # Example
+//!
+//! ```
+//! use spk_check::{model, sync, thread};
+//! use std::sync::atomic::Ordering;
+//!
+//! model(|| {
+//!     let n = sync::Arc::new(sync::atomic::AtomicU64::new(0));
+//!     let n2 = sync::Arc::clone(&n);
+//!     let t = thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+
+// Almost-std-only-safe: the single pair of `unsafe impl`s lives in
+// `cell` (Send/Sync for the tracked UnsafeCell, mirroring loom).
+#![deny(unsafe_code)]
+
+pub mod cell;
+pub mod lint;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+/// What kind of failure an execution hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No thread runnable while some were still blocked. Lost condvar
+    /// notifications surface here (the waiter never wakes).
+    Deadlock,
+    /// Conflicting [`cell::UnsafeCell`] accesses with no
+    /// happens-before edge between them.
+    DataRace,
+    /// A model thread panicked (assertion failure or otherwise).
+    Panic,
+    /// Schedule replay diverged — the model body made different
+    /// choices visible across runs (e.g. it consulted wall-clock time
+    /// or OS randomness), which the checker cannot explore soundly.
+    Nondeterminism,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::DataRace => "data race",
+            FailureKind::Panic => "panic",
+            FailureKind::Nondeterminism => "nondeterminism",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One failing execution: what went wrong and the schedule that got
+/// there.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// Per-scheduling-point trace lines (`"t2 mutex.lock"`, …),
+    /// truncated past a few thousand entries.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}: {}", self.kind, self.message)?;
+        writeln!(f, "schedule trace ({} points):", self.trace.len())?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Exploration mode.
+#[derive(Clone, Copy, Debug)]
+pub enum Mode {
+    /// Exhaustive DFS with branch replay (bounded by the preemption
+    /// budget and the iteration cap).
+    Dfs,
+    /// Seeded random walk: each iteration draws every scheduling
+    /// choice from a deterministic stream, so `seed` reproduces the
+    /// exact schedules.
+    Random { seed: u64 },
+}
+
+/// Outcome of a [`Builder::check`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Executions (interleavings) actually run.
+    pub iterations: u64,
+    /// `true` if the iteration cap stopped exploration before the
+    /// schedule space was exhausted (DFS) or the requested walk length
+    /// completed (random).
+    pub truncated: bool,
+    /// The first failing execution, if any.
+    pub failure: Option<Failure>,
+    /// FNV digest of every schedule explored, in order — equal digests
+    /// mean identical schedule sequences (the determinism contract).
+    pub schedule_digest: u64,
+}
+
+/// Configures and runs a model-checking session.
+///
+/// Defaults: exhaustive DFS, unlimited preemptions, 100 000 iteration
+/// cap. The `SPK_CHECK_MAX_ITERS` environment variable lowers the cap
+/// (CI uses it to bound wall-clock on the 1-core runner); it never
+/// raises a cap set explicitly via [`Builder::max_iterations`].
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum preemptive context switches per execution (DFS mode).
+    /// `usize::MAX` means unbounded, i.e. fully exhaustive.
+    pub max_preemptions: usize,
+    /// Maximum executions to run before giving up.
+    pub max_iterations: u64,
+    pub mode: Mode,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder {
+            max_preemptions: usize::MAX,
+            max_iterations: 100_000,
+            mode: Mode::Dfs,
+        }
+    }
+
+    pub fn max_preemptions(mut self, p: usize) -> Self {
+        self.max_preemptions = p;
+        self
+    }
+
+    pub fn max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    pub fn mode(mut self, m: Mode) -> Self {
+        self.mode = m;
+        self
+    }
+
+    fn effective_cap(&self) -> u64 {
+        match std::env::var("SPK_CHECK_MAX_ITERS") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(n) => self.max_iterations.min(n.max(1)),
+                Err(_) => self.max_iterations,
+            },
+            Err(_) => self.max_iterations,
+        }
+    }
+
+    /// Explores `f` and returns the report. Stops at the first failing
+    /// execution, at space exhaustion (DFS), or at the iteration cap.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let cap = self.effective_cap();
+        let mut iterations = 0u64;
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let mut truncated = false;
+        let mut failure = None;
+        match self.mode {
+            Mode::Dfs => {
+                let mut explorer = rt::Explorer::new(self.max_preemptions);
+                loop {
+                    if iterations >= cap {
+                        truncated = true;
+                        break;
+                    }
+                    let (fail, frames) =
+                        rt::run_execution(Arc::clone(&f), explorer.prefix.clone(), None);
+                    iterations += 1;
+                    digest = rt::fold_digest(digest, &frames);
+                    if fail.is_some() {
+                        failure = fail;
+                        break;
+                    }
+                    if !explorer.advance(&frames) {
+                        break;
+                    }
+                }
+            }
+            Mode::Random { seed } => {
+                for i in 0..cap {
+                    // Per-iteration stream: splitmix64 over (seed, i) so
+                    // iteration i is reproducible in isolation.
+                    let mut z = seed.wrapping_add(i).wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    let rng = (z ^ (z >> 31)) | 1;
+                    let (fail, frames) = rt::run_execution(Arc::clone(&f), Vec::new(), Some(rng));
+                    iterations += 1;
+                    digest = rt::fold_digest(digest, &frames);
+                    if fail.is_some() {
+                        failure = fail;
+                        break;
+                    }
+                }
+            }
+        }
+        Report {
+            iterations,
+            truncated,
+            failure,
+            schedule_digest: digest,
+        }
+    }
+}
+
+/// Loom-style entry point: exhaustively explores `f` with the default
+/// [`Builder`] and panics with the failure report (kind, message, and
+/// schedule trace) if any interleaving fails.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = Builder::new().check(f);
+    if let Some(failure) = report.failure {
+        panic!(
+            "model checking failed after {} interleaving(s)\n{failure}",
+            report.iterations
+        );
+    }
+    assert!(
+        !report.truncated,
+        "model checking truncated at {} interleavings without exhausting the schedule \
+         space; raise max_iterations or add a preemption bound",
+        report.iterations
+    );
+}

@@ -1,0 +1,1029 @@
+//! The model-checking runtime: a cooperative scheduler that serializes
+//! model threads onto one baton, records every scheduling decision, and
+//! re-runs the body under different decision sequences.
+//!
+//! # How an execution runs
+//!
+//! Every model thread is a real OS thread, but at most one ever runs at
+//! a time: a thread may only execute between two *scheduling points*
+//! (every operation on a [`crate::sync`] / [`crate::cell`] primitive)
+//! while it holds the baton ([`ExecState::active`]). At each scheduling
+//! point the scheduler picks the next runner among the runnable threads
+//! and records the choice as a [`Frame`]; the sequence of frames is the
+//! *schedule* of the execution. Code between scheduling points is one
+//! atomic step — the classical coarse-interleaving reduction: only
+//! synchronization operations are visible, so reordering the invisible
+//! instructions around them cannot change the reachable states.
+//!
+//! # How the schedule space is explored
+//!
+//! *DFS with branch replay*: the first execution takes the default
+//! choice everywhere (keep running the current thread). After each
+//! execution the [`Explorer`] finds the deepest frame with an untried
+//! alternative whose preemption cost fits the budget, and the next
+//! execution replays the prefix of recorded choices before it, then
+//! takes that alternative. Preemptions — switching away from a thread
+//! that could have kept running — are the only thing bounded, so with an
+//! unlimited budget the DFS is exhaustive, and with budget `p` it covers
+//! every schedule with at most `p` preemptions (the CHESS result: most
+//! concurrency bugs need very few).
+//!
+//! *Seeded random walk*: for state spaces too deep to enumerate, every
+//! choice is drawn from a per-iteration xorshift stream derived from the
+//! seed, so a run is reproducible choice-for-choice from `(seed, i)`.
+//!
+//! # What it detects
+//!
+//! * **Deadlock** — no thread is runnable but some are still blocked
+//!   (includes lost condvar notifications: the waiter sleeps forever and
+//!   the report says how many notifies found no waiter).
+//! * **Data races** — every thread carries a vector clock; release
+//!   stores/unlocks/sends publish it, acquire loads/locks/recvs join
+//!   it, and a [`crate::cell::UnsafeCell`] access that is not ordered
+//!   after every earlier conflicting access by happens-before is
+//!   reported even if the serialized execution happened to produce the
+//!   right value.
+//! * **Assertion failures / panics** — a panic in any model thread
+//!   aborts the execution and is reported with the schedule trace.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::{Failure, FailureKind};
+
+/// Sentinel panic payload used to unwind model threads when an
+/// execution aborts (failure found, or exploration is shutting down).
+/// The panic hook installed by the runner keeps it silent.
+pub(crate) struct ModelAbort;
+
+/// Global monotonically increasing object-id source. Ids are assigned
+/// lazily on first use, so sync objects can be built in `const`
+/// contexts (statics) and still get a stable identity.
+static NEXT_OBJECT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Lazily-assigned identity of one sync object (mutex, atomic, cell,
+/// channel, condvar). `0` means "not assigned yet".
+#[derive(Debug)]
+pub(crate) struct ObjId(AtomicU64);
+
+impl Default for ObjId {
+    fn default() -> Self {
+        ObjId::unset()
+    }
+}
+
+impl ObjId {
+    pub(crate) const fn unset() -> Self {
+        ObjId(AtomicU64::new(0))
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        let v = self.0.load(StdOrdering::Relaxed);
+        if v != 0 {
+            return v;
+        }
+        let fresh = NEXT_OBJECT_ID.fetch_add(1, StdOrdering::Relaxed) + 1;
+        match self
+            .0
+            .compare_exchange(0, fresh, StdOrdering::Relaxed, StdOrdering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(current) => current,
+        }
+    }
+}
+
+pub(crate) fn fresh_object_id() -> u64 {
+    NEXT_OBJECT_ID.fetch_add(1, StdOrdering::Relaxed) + 1
+}
+
+// ---------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------
+
+/// A vector clock: component `t` is the last operation of thread `t`
+/// known to happen-before the clock's owner.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, t: usize, v: u64) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    fn tick(&mut self, t: usize) {
+        let v = self.get(t);
+        self.set(t, v + 1);
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self ≤ other`: every event in `self` happens-before `other`.
+    fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(t, &v)| v <= other.get(t))
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-execution object state
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum BlockKind {
+    Mutex(u64),
+    Condvar(u64),
+    ChanSend(u64),
+    ChanRecv(u64),
+    Join(usize),
+}
+
+impl BlockKind {
+    fn describe(&self) -> String {
+        match self {
+            BlockKind::Mutex(id) => format!("Mutex#{id}"),
+            BlockKind::Condvar(id) => format!("Condvar#{id}"),
+            BlockKind::ChanSend(id) => format!("channel#{id} send (full)"),
+            BlockKind::ChanRecv(id) => format!("channel#{id} recv (empty)"),
+            BlockKind::Join(t) => format!("join on thread t{t}"),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Status {
+    Runnable,
+    Blocked(BlockKind),
+    Finished,
+}
+
+struct ThreadRec {
+    status: Status,
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct MutexObj {
+    locked_by: Option<usize>,
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct CondvarObj {
+    waiters: Vec<usize>,
+    lost_notifies: u64,
+}
+
+struct ChannelObj {
+    cap: usize,
+    len: usize,
+    /// Sender clock captured at each enqueued message, FIFO.
+    clocks: VecDeque<VClock>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+#[derive(Default)]
+struct AtomicObj {
+    /// The clock published by the head of the current release sequence
+    /// (empty after a relaxed store broke the sequence).
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct CellObj {
+    write: VClock,
+    last_writer: Option<usize>,
+    /// Per-thread latest-read times since the last write.
+    reads: VClock,
+}
+
+// ---------------------------------------------------------------------
+// Frames and execution state
+// ---------------------------------------------------------------------
+
+/// One scheduling decision: who could run, who was picked.
+#[derive(Clone, Debug)]
+pub(crate) struct Frame {
+    /// Candidate threads in decision order: the yielder first when it is
+    /// still runnable (the non-preemptive default), then the other
+    /// runnable threads in ascending id order.
+    pub(crate) cands: Vec<usize>,
+    /// Index into `cands` that was taken.
+    pub(crate) chosen: usize,
+    /// The thread that reached the scheduling point.
+    pub(crate) yielder: usize,
+    /// Whether the yielder could have kept running (if so, picking any
+    /// other candidate is a preemption).
+    pub(crate) yielder_runnable: bool,
+    /// Preemptions spent before this frame (for budget accounting).
+    pub(crate) preemptions_before: usize,
+}
+
+const TRACE_CAP: usize = 4000;
+
+struct ExecState {
+    threads: Vec<ThreadRec>,
+    active: usize,
+    /// Forced choice indices for the replay prefix (DFS mode).
+    prefix: Vec<usize>,
+    frames: Vec<Frame>,
+    preemptions: usize,
+    /// Random-walk state; `None` in DFS mode.
+    rng: Option<u64>,
+    mutexes: HashMap<u64, MutexObj>,
+    condvars: HashMap<u64, CondvarObj>,
+    channels: HashMap<u64, ChannelObj>,
+    atomics: HashMap<u64, AtomicObj>,
+    cells: HashMap<u64, CellObj>,
+    failure: Option<Failure>,
+    abort: bool,
+    trace: Vec<String>,
+}
+
+impl ExecState {
+    fn push_trace(&mut self, tid: usize, desc: &str) {
+        if self.trace.len() < TRACE_CAP {
+            self.trace.push(format!("t{tid} {desc}"));
+        } else if self.trace.len() == TRACE_CAP {
+            self.trace.push("… trace truncated …".to_string());
+        }
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.status, Status::Runnable))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| matches!(t.status, Status::Finished))
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+// ---------------------------------------------------------------------
+// The execution
+// ---------------------------------------------------------------------
+
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    cv: StdCondvar,
+}
+
+/// Per-OS-thread handle back to the execution it belongs to.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The current model context, if this OS thread is a model thread of a
+/// live execution. All `spk_check::sync` primitives consult this and
+/// fall back to plain `std` behavior when it is `None` — which is what
+/// lets `--cfg spk_model` builds of the real crates run normally
+/// outside `model()`.
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>, rng: Option<u64>) -> Self {
+        Execution {
+            state: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                active: 0,
+                prefix,
+                frames: Vec::new(),
+                preemptions: 0,
+                rng,
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                channels: HashMap::new(),
+                atomics: HashMap::new(),
+                cells: HashMap::new(),
+                failure: None,
+                abort: false,
+                trace: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// Locks the state, tolerating poison (threads panic out via the
+    /// [`ModelAbort`] sentinel while holding the lock by design).
+    fn lock_state(&self) -> StdMutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn abort_now(&self) -> ! {
+        self.cv.notify_all();
+        panic::panic_any(ModelAbort);
+    }
+
+    /// Records a failure, aborts the execution, and unwinds.
+    fn fail(&self, st: &mut ExecState, kind: FailureKind, message: String) -> ! {
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                kind,
+                message,
+                trace: st.trace.clone(),
+            });
+        }
+        st.abort = true;
+        self.abort_now();
+    }
+
+    /// The scheduling decision: picks the next runner among the
+    /// runnable threads, records the frame, and hands over the baton.
+    /// Detects deadlock (nobody runnable, somebody blocked) and
+    /// completion (everybody finished).
+    fn pick_next(&self, st: &mut ExecState, yielder: usize) {
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            if st.all_finished() {
+                // Completion: wake the coordinator.
+                self.cv.notify_all();
+                return;
+            }
+            let blocked: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match &t.status {
+                    Status::Blocked(k) => Some(format!("t{i} blocked on {}", k.describe())),
+                    _ => None,
+                })
+                .collect();
+            let lost: u64 = st.condvars.values().map(|c| c.lost_notifies).sum();
+            let mut msg = format!("deadlock: no runnable threads ({})", blocked.join(", "));
+            if lost > 0 {
+                msg.push_str(&format!(
+                    "; {lost} condvar notification(s) were lost (notify with no waiter)"
+                ));
+            }
+            self.fail(st, FailureKind::Deadlock, msg);
+        }
+        let yielder_runnable = matches!(st.threads[yielder].status, Status::Runnable);
+        let mut cands = Vec::with_capacity(runnable.len());
+        if yielder_runnable {
+            cands.push(yielder);
+        }
+        cands.extend(runnable.iter().copied().filter(|&t| t != yielder));
+        let step = st.frames.len();
+        let chosen_idx = if let Some(&forced) = st.prefix.get(step) {
+            if forced >= cands.len() {
+                self.fail(
+                    st,
+                    FailureKind::Nondeterminism,
+                    format!(
+                        "schedule replay diverged at step {step}: forced choice {forced} \
+                         but only {} candidates — the model body must be deterministic \
+                         apart from scheduling",
+                        cands.len()
+                    ),
+                );
+            }
+            forced
+        } else if let Some(rng) = st.rng.as_mut() {
+            (xorshift(rng) % cands.len() as u64) as usize
+        } else {
+            0
+        };
+        let chosen = cands[chosen_idx];
+        st.frames.push(Frame {
+            cands: cands.clone(),
+            chosen: chosen_idx,
+            yielder,
+            yielder_runnable,
+            preemptions_before: st.preemptions,
+        });
+        if yielder_runnable && chosen != yielder {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until this thread holds the baton (or the execution
+    /// aborted, in which case it unwinds).
+    fn wait_for_baton(&self, mut st: StdMutexGuard<'_, ExecState>, tid: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                self.abort_now();
+            }
+            if st.active == tid {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A scheduling point: trace the op, tick the clock, let the
+    /// scheduler decide who runs next, and wait until it is this
+    /// thread again.
+    pub(crate) fn schedule_point(&self, tid: usize, desc: &str) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            self.abort_now();
+        }
+        st.push_trace(tid, desc);
+        st.threads[tid].clock.tick(tid);
+        self.pick_next(&mut st, tid);
+        self.wait_for_baton(st, tid);
+    }
+
+    /// Blocks the calling thread on `kind` and hands the baton over.
+    /// Returns when some other thread has made it runnable again and
+    /// the scheduler picked it.
+    fn block_self(&self, mut st: StdMutexGuard<'_, ExecState>, tid: usize, kind: BlockKind) {
+        st.push_trace(tid, &format!("blocks on {}", kind.describe()));
+        st.threads[tid].status = Status::Blocked(kind);
+        self.pick_next(&mut st, tid);
+        self.wait_for_baton(st, tid);
+    }
+
+    /// Marks every thread blocked on `pred` runnable again.
+    fn wake_where(st: &mut ExecState, pred: impl Fn(&BlockKind) -> bool) {
+        for t in st.threads.iter_mut() {
+            if let Status::Blocked(k) = &t.status {
+                if pred(k) {
+                    t.status = Status::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Called by a model thread's wrapper when its body returned or
+    /// panicked. Non-sentinel panics become the execution's failure.
+    fn thread_exit(&self, tid: usize, panic_payload: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.lock_state();
+        st.threads[tid].status = Status::Finished;
+        match panic_payload {
+            Some(p) if p.is::<ModelAbort>() => {
+                self.cv.notify_all();
+            }
+            Some(p) => {
+                let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = p.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                if st.failure.is_none() {
+                    st.failure = Some(Failure {
+                        kind: FailureKind::Panic,
+                        message: format!("thread t{tid} panicked: {msg}"),
+                        trace: st.trace.clone(),
+                    });
+                }
+                st.abort = true;
+                self.cv.notify_all();
+            }
+            None => {
+                st.push_trace(tid, "exits");
+                st.threads[tid].clock.tick(tid);
+                Self::wake_where(&mut st, |k| matches!(k, BlockKind::Join(t) if *t == tid));
+                self.pick_next(&mut st, tid);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner (one execution)
+// ---------------------------------------------------------------------
+
+/// Installs (once) a panic hook that keeps [`ModelAbort`] unwinds and
+/// model-thread panics quiet — failures are captured in the report, so
+/// the default "thread panicked" noise would only drown exploration.
+fn install_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<ModelAbort>() || current().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Runs one execution of `f` under the given replay prefix / rng and
+/// returns `(failure, frames)`.
+pub(crate) fn run_execution(
+    f: Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<usize>,
+    rng: Option<u64>,
+) -> (Option<Failure>, Vec<Frame>) {
+    install_panic_hook();
+    let exec = Arc::new(Execution::new(prefix, rng));
+    {
+        let mut st = exec.lock_state();
+        let mut clock = VClock::default();
+        clock.tick(0);
+        st.threads.push(ThreadRec {
+            status: Status::Runnable,
+            clock,
+        });
+        st.active = 0;
+    }
+    let root_exec = Arc::clone(&exec);
+    let root = std::thread::Builder::new()
+        .name("spk-check-root".to_string())
+        .spawn(move || {
+            set_ctx(Some(Ctx {
+                exec: Arc::clone(&root_exec),
+                tid: 0,
+            }));
+            let out = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+                let st = root_exec.lock_state();
+                root_exec.wait_for_baton(st, 0);
+                f();
+            }));
+            root_exec.thread_exit(0, out.err());
+            set_ctx(None);
+        })
+        .expect("failed to spawn model root thread");
+
+    // Coordinator: wait until every model thread finished or the
+    // execution aborted.
+    let (failure, frames) = {
+        let mut st = exec.lock_state();
+        while !(st.abort || st.all_finished()) {
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        (st.failure.take(), std::mem::take(&mut st.frames))
+    };
+    let _ = root.join();
+    (failure, frames)
+}
+
+// ---------------------------------------------------------------------
+// Explorer (DFS with branch replay, preemption-bounded)
+// ---------------------------------------------------------------------
+
+pub(crate) struct Explorer {
+    pub(crate) prefix: Vec<usize>,
+    max_preemptions: usize,
+}
+
+impl Explorer {
+    pub(crate) fn new(max_preemptions: usize) -> Self {
+        Explorer {
+            prefix: Vec::new(),
+            max_preemptions,
+        }
+    }
+
+    /// Advances to the next unexplored schedule: the deepest frame with
+    /// an untried alternative whose preemption cost fits the budget.
+    /// Returns `false` when the (budget-bounded) space is exhausted.
+    pub(crate) fn advance(&mut self, frames: &[Frame]) -> bool {
+        for i in (0..frames.len()).rev() {
+            let f = &frames[i];
+            for j in (f.chosen + 1)..f.cands.len() {
+                let preemptive = f.yielder_runnable && f.cands[j] != f.yielder;
+                if preemptive && f.preemptions_before >= self.max_preemptions {
+                    continue;
+                }
+                self.prefix = frames[..i].iter().map(|g| g.chosen).collect();
+                self.prefix.push(j);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// FNV-1a fold of one execution's schedule into a running digest —
+/// lets tests assert "same seed ⇒ same schedules" cheaply.
+pub(crate) fn fold_digest(mut digest: u64, frames: &[Frame]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut eat = |v: u64| {
+        digest ^= v;
+        digest = digest.wrapping_mul(PRIME);
+    };
+    eat(0x5eed);
+    for f in frames {
+        eat(f.cands[f.chosen] as u64);
+        eat(f.cands.len() as u64);
+    }
+    digest
+}
+
+// ---------------------------------------------------------------------
+// Operations used by the sync/cell/thread wrappers
+// ---------------------------------------------------------------------
+
+const ACQ: [std::sync::atomic::Ordering; 3] = [
+    std::sync::atomic::Ordering::Acquire,
+    std::sync::atomic::Ordering::AcqRel,
+    std::sync::atomic::Ordering::SeqCst,
+];
+const REL: [std::sync::atomic::Ordering; 3] = [
+    std::sync::atomic::Ordering::Release,
+    std::sync::atomic::Ordering::AcqRel,
+    std::sync::atomic::Ordering::SeqCst,
+];
+
+/// Atomic load: acquire orderings join the release clock of the atomic
+/// into the loader. (SeqCst is approximated as AcqRel; serialized
+/// execution means values are always the latest in modification order,
+/// which over-synchronizes values but never hides a cell race.)
+pub(crate) fn atomic_load(ctx: &Ctx, id: u64, order: std::sync::atomic::Ordering) {
+    ctx.exec.schedule_point(ctx.tid, "atomic.load");
+    let mut st = ctx.exec.lock_state();
+    if ACQ.contains(&order) {
+        let clock = st.atomics.entry(id).or_default().clock.clone();
+        st.threads[ctx.tid].clock.join(&clock);
+    }
+}
+
+/// Atomic store: a release store publishes the storer's clock as the
+/// head of a new release sequence; a relaxed store breaks the sequence
+/// (clears the clock), so later acquire loads no longer synchronize.
+pub(crate) fn atomic_store(ctx: &Ctx, id: u64, order: std::sync::atomic::Ordering) {
+    ctx.exec.schedule_point(ctx.tid, "atomic.store");
+    let mut st = ctx.exec.lock_state();
+    let clock = st.threads[ctx.tid].clock.clone();
+    let obj = st.atomics.entry(id).or_default();
+    if REL.contains(&order) {
+        obj.clock = clock;
+    } else {
+        obj.clock.clear();
+    }
+}
+
+/// Atomic read-modify-write: joins on the acquire side, contributes on
+/// the release side, and — unlike a plain store — never breaks an
+/// existing release sequence (C++17 §32.4: RMWs continue it).
+pub(crate) fn atomic_rmw(ctx: &Ctx, id: u64, order: std::sync::atomic::Ordering) {
+    ctx.exec.schedule_point(ctx.tid, "atomic.rmw");
+    let mut st = ctx.exec.lock_state();
+    if ACQ.contains(&order) {
+        let clock = st.atomics.entry(id).or_default().clock.clone();
+        st.threads[ctx.tid].clock.join(&clock);
+    }
+    if REL.contains(&order) {
+        let clock = st.threads[ctx.tid].clock.clone();
+        st.atomics.entry(id).or_default().clock.join(&clock);
+    }
+}
+
+/// Tracked `UnsafeCell` read: a race unless the last write
+/// happened-before this thread's current clock.
+pub(crate) fn cell_read(ctx: &Ctx, id: u64) {
+    ctx.exec.schedule_point(ctx.tid, "cell.read");
+    let mut st = ctx.exec.lock_state();
+    let me = st.threads[ctx.tid].clock.clone();
+    let cell = st.cells.entry(id).or_default();
+    if !cell.write.le(&me) {
+        let writer = cell
+            .last_writer
+            .map(|t| format!("t{t}"))
+            .unwrap_or_default();
+        let msg = format!(
+            "data race on UnsafeCell#{id}: read by t{} is concurrent with the write by {writer} \
+             (no happens-before edge orders them)",
+            ctx.tid
+        );
+        ctx.exec.fail(&mut st, FailureKind::DataRace, msg);
+    }
+    let time = me.get(ctx.tid);
+    cell.reads.set(ctx.tid, time);
+}
+
+/// Tracked `UnsafeCell` write: a race unless every earlier read and the
+/// last write happened-before this thread's current clock.
+pub(crate) fn cell_write(ctx: &Ctx, id: u64) {
+    ctx.exec.schedule_point(ctx.tid, "cell.write");
+    let mut st = ctx.exec.lock_state();
+    let me = st.threads[ctx.tid].clock.clone();
+    let cell = st.cells.entry(id).or_default();
+    if !cell.write.le(&me) || !cell.reads.le(&me) {
+        let kind = if cell.write.le(&me) { "read" } else { "write" };
+        let msg = format!(
+            "data race on UnsafeCell#{id}: write by t{} is concurrent with an earlier {kind} \
+             (no happens-before edge orders them)",
+            ctx.tid
+        );
+        ctx.exec.fail(&mut st, FailureKind::DataRace, msg);
+    }
+    cell.write = me;
+    cell.last_writer = Some(ctx.tid);
+    cell.reads.clear();
+}
+
+// ---- mutex ----------------------------------------------------------
+
+/// Model-level mutex acquisition; blocks (scheduler-level) until held.
+pub(crate) fn mutex_lock(ctx: &Ctx, id: u64) {
+    loop {
+        ctx.exec.schedule_point(ctx.tid, "mutex.lock");
+        let mut st = ctx.exec.lock_state();
+        let obj = st.mutexes.entry(id).or_default();
+        if obj.locked_by.is_none() {
+            obj.locked_by = Some(ctx.tid);
+            let clock = obj.clock.clone();
+            st.threads[ctx.tid].clock.join(&clock);
+            return;
+        }
+        ctx.exec.block_self(st, ctx.tid, BlockKind::Mutex(id));
+    }
+}
+
+/// Model-level mutex release. Called from guard drop — must not panic,
+/// so it performs no scheduling point (the next visible op yields).
+pub(crate) fn mutex_unlock(ctx: &Ctx, id: u64) {
+    let mut st = ctx.exec.lock_state();
+    st.threads[ctx.tid].clock.tick(ctx.tid);
+    let clock = st.threads[ctx.tid].clock.clone();
+    let obj = st.mutexes.entry(id).or_default();
+    obj.locked_by = None;
+    obj.clock = clock;
+    Execution::wake_where(&mut st, |k| matches!(k, BlockKind::Mutex(m) if *m == id));
+}
+
+// ---- condvar --------------------------------------------------------
+
+/// Condvar wait: atomically (under the scheduler lock) registers as a
+/// waiter and releases the mutex, then sleeps until notified and
+/// scheduled. The caller re-acquires the mutex afterwards.
+pub(crate) fn condvar_wait(ctx: &Ctx, cv_id: u64, mutex_id: u64) {
+    ctx.exec.schedule_point(ctx.tid, "condvar.wait");
+    let mut st = ctx.exec.lock_state();
+    st.condvars.entry(cv_id).or_default().waiters.push(ctx.tid);
+    // Release the mutex exactly like an unlock, without giving up the
+    // scheduler lock in between — that gap is where real lost wakeups
+    // live, and std's wait is atomic against it.
+    st.threads[ctx.tid].clock.tick(ctx.tid);
+    let clock = st.threads[ctx.tid].clock.clone();
+    let obj = st.mutexes.entry(mutex_id).or_default();
+    obj.locked_by = None;
+    obj.clock = clock;
+    Execution::wake_where(
+        &mut st,
+        |k| matches!(k, BlockKind::Mutex(m) if *m == mutex_id),
+    );
+    ctx.exec.block_self(st, ctx.tid, BlockKind::Condvar(cv_id));
+}
+
+/// Condvar notify: wakes the first waiter (FIFO), or counts a lost
+/// notification when nobody is waiting — that count is surfaced in
+/// deadlock reports, where lost wakeups end up.
+pub(crate) fn condvar_notify(ctx: &Ctx, cv_id: u64, all: bool) {
+    ctx.exec.schedule_point(
+        ctx.tid,
+        if all {
+            "condvar.notify_all"
+        } else {
+            "condvar.notify_one"
+        },
+    );
+    let mut st = ctx.exec.lock_state();
+    let cv = st.condvars.entry(cv_id).or_default();
+    if cv.waiters.is_empty() {
+        cv.lost_notifies += 1;
+        return;
+    }
+    let woken: Vec<usize> = if all {
+        std::mem::take(&mut cv.waiters)
+    } else {
+        vec![cv.waiters.remove(0)]
+    };
+    for t in woken {
+        st.threads[t].status = Status::Runnable;
+    }
+}
+
+// ---- channels -------------------------------------------------------
+
+/// Registers a bounded channel object with the current execution and
+/// returns its id. `cap == 0` (rendezvous) is not modeled.
+pub(crate) fn channel_register(ctx: &Ctx, cap: usize) -> u64 {
+    assert!(
+        cap > 0,
+        "spk_check::sync::mpsc does not model capacity-0 rendezvous channels; use cap >= 1"
+    );
+    let id = fresh_object_id();
+    let mut st = ctx.exec.lock_state();
+    st.channels.insert(
+        id,
+        ChannelObj {
+            cap,
+            len: 0,
+            clocks: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        },
+    );
+    id
+}
+
+/// Outcome of a model channel send attempt (the typed queue push is the
+/// caller's job once `Ok` comes back).
+pub(crate) enum SendOutcome {
+    Sent,
+    Disconnected,
+}
+
+/// Blocks (scheduler-level) until there is room, then reserves a slot
+/// and records the sender's clock. Returns `Disconnected` if the
+/// receiver is gone.
+pub(crate) fn channel_send(ctx: &Ctx, id: u64) -> SendOutcome {
+    loop {
+        ctx.exec.schedule_point(ctx.tid, "mpsc.send");
+        let mut st = ctx.exec.lock_state();
+        let me = st.threads[ctx.tid].clock.clone();
+        let ch = st.channels.get_mut(&id).expect("channel object");
+        if !ch.receiver_alive {
+            return SendOutcome::Disconnected;
+        }
+        if ch.len < ch.cap {
+            ch.len += 1;
+            ch.clocks.push_back(me);
+            Execution::wake_where(&mut st, |k| matches!(k, BlockKind::ChanRecv(c) if *c == id));
+            return SendOutcome::Sent;
+        }
+        ctx.exec.block_self(st, ctx.tid, BlockKind::ChanSend(id));
+    }
+}
+
+/// Outcome of a model channel receive attempt.
+pub(crate) enum RecvOutcome {
+    /// A message slot was consumed; pop the typed queue.
+    Received,
+    Disconnected,
+}
+
+/// Blocks (scheduler-level) until a message is available; joins the
+/// sender's clock (the channel happens-before edge). Returns
+/// `Disconnected` when the queue is empty and every sender is gone.
+pub(crate) fn channel_recv(ctx: &Ctx, id: u64) -> RecvOutcome {
+    loop {
+        ctx.exec.schedule_point(ctx.tid, "mpsc.recv");
+        let mut st = ctx.exec.lock_state();
+        let ch = st.channels.get_mut(&id).expect("channel object");
+        if ch.len > 0 {
+            ch.len -= 1;
+            let clock = ch.clocks.pop_front().expect("clock per message");
+            st.threads[ctx.tid].clock.join(&clock);
+            Execution::wake_where(&mut st, |k| matches!(k, BlockKind::ChanSend(c) if *c == id));
+            return RecvOutcome::Received;
+        }
+        if ch.senders == 0 {
+            return RecvOutcome::Disconnected;
+        }
+        ctx.exec.block_self(st, ctx.tid, BlockKind::ChanRecv(id));
+    }
+}
+
+/// Sender clone/drop bookkeeping. Drops run during unwind, so these
+/// never take a scheduling point and never panic.
+pub(crate) fn channel_sender_cloned(ctx: &Ctx, id: u64) {
+    let mut st = ctx.exec.lock_state();
+    if let Some(ch) = st.channels.get_mut(&id) {
+        ch.senders += 1;
+    }
+}
+
+pub(crate) fn channel_sender_dropped(ctx: &Ctx, id: u64) {
+    let mut st = ctx.exec.lock_state();
+    if let Some(ch) = st.channels.get_mut(&id) {
+        ch.senders = ch.senders.saturating_sub(1);
+        if ch.senders == 0 {
+            Execution::wake_where(&mut st, |k| matches!(k, BlockKind::ChanRecv(c) if *c == id));
+        }
+    }
+}
+
+pub(crate) fn channel_receiver_dropped(ctx: &Ctx, id: u64) {
+    let mut st = ctx.exec.lock_state();
+    if let Some(ch) = st.channels.get_mut(&id) {
+        ch.receiver_alive = false;
+        Execution::wake_where(&mut st, |k| matches!(k, BlockKind::ChanSend(c) if *c == id));
+    }
+}
+
+// ---- threads --------------------------------------------------------
+
+pub(crate) struct ModelJoinState<T> {
+    pub(crate) result: StdMutex<Option<T>>,
+}
+
+/// Spawns a model thread: registers it with the execution (inheriting
+/// the spawner's clock — the spawn happens-before edge) and starts an
+/// OS thread that waits for its first scheduling slot before running.
+pub(crate) fn spawn_model<T: Send + 'static>(
+    ctx: &Ctx,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> (usize, Arc<ModelJoinState<T>>, std::thread::JoinHandle<()>) {
+    ctx.exec.schedule_point(ctx.tid, "thread.spawn");
+    let child;
+    {
+        let mut st = ctx.exec.lock_state();
+        child = st.threads.len();
+        let mut clock = st.threads[ctx.tid].clock.clone();
+        clock.tick(child);
+        st.threads.push(ThreadRec {
+            status: Status::Runnable,
+            clock,
+        });
+    }
+    let join_state = Arc::new(ModelJoinState {
+        result: StdMutex::new(None),
+    });
+    let thread_state = Arc::clone(&join_state);
+    let exec = Arc::clone(&ctx.exec);
+    let os = std::thread::Builder::new()
+        .name(format!("spk-check-t{child}"))
+        .spawn(move || {
+            set_ctx(Some(Ctx {
+                exec: Arc::clone(&exec),
+                tid: child,
+            }));
+            let out = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+                let st = exec.lock_state();
+                exec.wait_for_baton(st, child);
+                f()
+            }));
+            match out {
+                Ok(v) => {
+                    *thread_state
+                        .result
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner()) = Some(v);
+                    exec.thread_exit(child, None);
+                }
+                Err(p) => exec.thread_exit(child, Some(p)),
+            }
+            set_ctx(None);
+        })
+        .expect("failed to spawn model thread");
+    (child, join_state, os)
+}
+
+/// Join on a model thread: blocks (scheduler-level) until it finished,
+/// then joins its final clock (the join happens-before edge).
+pub(crate) fn join_model(ctx: &Ctx, target: usize) {
+    loop {
+        ctx.exec.schedule_point(ctx.tid, "thread.join");
+        let mut st = ctx.exec.lock_state();
+        if matches!(st.threads[target].status, Status::Finished) {
+            let clock = st.threads[target].clock.clone();
+            st.threads[ctx.tid].clock.join(&clock);
+            return;
+        }
+        ctx.exec.block_self(st, ctx.tid, BlockKind::Join(target));
+    }
+}
+
+/// A voluntary scheduling point (`thread::yield_now`, `hint::spin_loop`).
+pub(crate) fn yield_point(ctx: &Ctx) {
+    ctx.exec.schedule_point(ctx.tid, "yield");
+}

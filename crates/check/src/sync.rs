@@ -1,0 +1,551 @@
+//! Dual-mode sync primitives: drop-in stand-ins for the `std::sync`
+//! subset the workspace uses (`Arc`, `Mutex`, `Condvar`, the numeric
+//! atomics, and `mpsc` channels).
+//!
+//! Inside a [`crate::model`] execution every operation is a scheduling
+//! point and feeds the happens-before machinery; outside one, each
+//! call delegates to the real `std` primitive with no extra blocking,
+//! so `--cfg spk_model` builds of the production crates behave
+//! normally in ordinary tests and binaries.
+//!
+//! API-subset limitations (deliberate): no `try_lock`/`try_send`/
+//! `try_recv`/timeouts, and `mpsc::sync_channel(0)` (rendezvous)
+//! panics — the workspace only uses capacities ≥ 1.
+
+pub use std::sync::Arc;
+
+use crate::rt;
+
+pub mod atomic {
+    //! Model-aware numeric atomics plus `AtomicBool`.
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    macro_rules! int_atomic {
+        ($name:ident, $std:ty, $int:ty) => {
+            /// Model-aware counterpart of the std atomic of the same
+            /// name; see the module docs for the dual-mode contract.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+                id: rt::ObjId,
+            }
+
+            impl $name {
+                pub const fn new(v: $int) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                        id: rt::ObjId::unset(),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $int {
+                    if let Some(ctx) = rt::current() {
+                        rt::atomic_load(&ctx, self.id.get(), order);
+                    }
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $int, order: Ordering) {
+                    if let Some(ctx) = rt::current() {
+                        rt::atomic_store(&ctx, self.id.get(), order);
+                    }
+                    self.inner.store(v, order);
+                }
+
+                pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                    if let Some(ctx) = rt::current() {
+                        rt::atomic_rmw(&ctx, self.id.get(), order);
+                    }
+                    self.inner.swap(v, order)
+                }
+
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    if let Some(ctx) = rt::current() {
+                        rt::atomic_rmw(&ctx, self.id.get(), order);
+                    }
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                    if let Some(ctx) = rt::current() {
+                        rt::atomic_rmw(&ctx, self.id.get(), order);
+                    }
+                    self.inner.fetch_sub(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    if let Some(ctx) = rt::current() {
+                        rt::atomic_rmw(&ctx, self.id.get(), success);
+                    }
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn into_inner(self) -> $int {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    int_atomic!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+
+    /// Model-aware `AtomicBool` (no arithmetic RMWs; `swap` and
+    /// `compare_exchange` cover the workspace's uses).
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+        id: rt::ObjId,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+                id: rt::ObjId::unset(),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            if let Some(ctx) = rt::current() {
+                rt::atomic_load(&ctx, self.id.get(), order);
+            }
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            if let Some(ctx) = rt::current() {
+                rt::atomic_store(&ctx, self.id.get(), order);
+            }
+            self.inner.store(v, order);
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            if let Some(ctx) = rt::current() {
+                rt::atomic_rmw(&ctx, self.id.get(), order);
+            }
+            self.inner.swap(v, order)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            if let Some(ctx) = rt::current() {
+                rt::atomic_rmw(&ctx, self.id.get(), success);
+            }
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// Model-aware mutex. Lock-ordering deadlocks between model threads
+/// are detected by the scheduler rather than hanging the test.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    id: rt::ObjId,
+}
+
+/// Guard for [`Mutex`]; releases both the model-level and the real
+/// lock on drop.
+pub struct MutexGuard<'a, T> {
+    // `Option` so `Condvar::wait` can take the std guard out and hand
+    // it to `std::sync::Condvar::wait` without running our Drop.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+    model: Option<rt::Ctx>,
+}
+
+/// Mirror of `std::sync::PoisonError`-style results, minus poisoning:
+/// the model checker treats panics as failures outright, and the
+/// delegate path unwraps poison into the inner guard (a panicked
+/// model run is already reported; ordinary code in this workspace
+/// never relies on poisoning).
+pub type LockResult<G> = Result<G, std::convert::Infallible>;
+
+impl<T> Mutex<T> {
+    pub const fn new(v: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(v),
+            id: rt::ObjId::unset(),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model = rt::current();
+        if let Some(ctx) = &model {
+            rt::mutex_lock(ctx, self.id.get());
+        }
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            inner: Some(inner),
+            mutex: self,
+            model,
+        })
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.inner.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.inner.get_mut().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then the model-level one — the
+        // model release wakes waiters, and they must be able to take
+        // the std lock immediately when scheduled.
+        drop(self.inner.take());
+        if let Some(ctx) = &self.model {
+            rt::mutex_unlock(ctx, self.mutex.id.get());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// Model-aware condition variable. In model mode, waiter registration
+/// and mutex release are atomic under the scheduler lock (matching
+/// std's guarantee), and notifications that find no waiter are counted
+/// and reported with any subsequent deadlock — which is how lost
+/// wakeups surface.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    id: rt::ObjId,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+            id: rt::ObjId::unset(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.take() {
+            None => {
+                let std_guard = guard.inner.take().expect("guard taken");
+                let mutex = guard.mutex;
+                // `guard` now owns nothing; its Drop is a no-op.
+                let std_guard = self
+                    .inner
+                    .wait(std_guard)
+                    .unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    inner: Some(std_guard),
+                    mutex,
+                    model: None,
+                })
+            }
+            Some(ctx) => {
+                let mutex = guard.mutex;
+                // Drop the real lock before registering: a model
+                // notifier scheduled next must be able to take it.
+                drop(guard.inner.take());
+                rt::condvar_wait(&ctx, self.id.get(), mutex.id.get());
+                // Woken and scheduled: re-acquire like a fresh lock()
+                // (std also re-locks on wakeup, and spurious wakeups /
+                // stolen predicates are exactly re-lock races).
+                rt::mutex_lock(&ctx, mutex.id.get());
+                let inner = mutex.inner.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    inner: Some(inner),
+                    mutex,
+                    model: Some(ctx),
+                })
+            }
+        }
+    }
+
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> LockResult<MutexGuard<'a, T>>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut guard) {
+            guard = self.wait(guard)?;
+        }
+        Ok(guard)
+    }
+
+    pub fn notify_one(&self) {
+        if let Some(ctx) = rt::current() {
+            rt::condvar_notify(&ctx, self.id.get(), false);
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some(ctx) = rt::current() {
+            rt::condvar_notify(&ctx, self.id.get(), true);
+        }
+        self.inner.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// mpsc
+// ---------------------------------------------------------------------
+
+pub mod mpsc {
+    //! Model-aware `std::sync::mpsc` subset: `sync_channel` (bounded,
+    //! capacity ≥ 1) and `channel` (unbounded), blocking `send`/`recv`
+    //! only.
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    use crate::rt;
+
+    /// Shared state of one model channel: the typed queue lives here,
+    /// the lengths/clocks/blocking live in the execution state keyed
+    /// by `id`.
+    struct Core<T> {
+        queue: std::sync::Mutex<VecDeque<T>>,
+        id: u64,
+    }
+
+    enum SenderImpl<T> {
+        Std(std::sync::mpsc::SyncSender<T>),
+        Model(Arc<Core<T>>),
+    }
+
+    /// Bounded sender, model-aware.
+    pub struct SyncSender<T>(SenderImpl<T>);
+
+    enum UnboundedImpl<T> {
+        Std(std::sync::mpsc::Sender<T>),
+        Model(Arc<Core<T>>),
+    }
+
+    /// Unbounded sender, model-aware.
+    pub struct Sender<T>(UnboundedImpl<T>);
+
+    enum ReceiverImpl<T> {
+        Std(std::sync::mpsc::Receiver<T>),
+        Model(Arc<Core<T>>),
+    }
+
+    /// Receiver, model-aware.
+    pub struct Receiver<T>(ReceiverImpl<T>);
+
+    /// Bounded channel. In model mode `bound` must be ≥ 1 (rendezvous
+    /// channels are not modeled).
+    pub fn sync_channel<T>(bound: usize) -> (SyncSender<T>, Receiver<T>) {
+        match rt::current() {
+            None => {
+                let (tx, rx) = std::sync::mpsc::sync_channel(bound);
+                (
+                    SyncSender(SenderImpl::Std(tx)),
+                    Receiver(ReceiverImpl::Std(rx)),
+                )
+            }
+            Some(ctx) => {
+                let id = rt::channel_register(&ctx, bound);
+                let core = Arc::new(Core {
+                    queue: std::sync::Mutex::new(VecDeque::new()),
+                    id,
+                });
+                (
+                    SyncSender(SenderImpl::Model(Arc::clone(&core))),
+                    Receiver(ReceiverImpl::Model(core)),
+                )
+            }
+        }
+    }
+
+    /// Unbounded channel (modeled as capacity `usize::MAX`).
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        match rt::current() {
+            None => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                (
+                    Sender(UnboundedImpl::Std(tx)),
+                    Receiver(ReceiverImpl::Std(rx)),
+                )
+            }
+            Some(ctx) => {
+                let id = rt::channel_register(&ctx, usize::MAX);
+                let core = Arc::new(Core {
+                    queue: std::sync::Mutex::new(VecDeque::new()),
+                    id,
+                });
+                (
+                    Sender(UnboundedImpl::Model(Arc::clone(&core))),
+                    Receiver(ReceiverImpl::Model(core)),
+                )
+            }
+        }
+    }
+
+    fn model_send<T>(core: &Core<T>, value: T) -> Result<(), SendError<T>> {
+        let ctx = rt::current().expect("model channel used outside a model execution");
+        match rt::channel_send(&ctx, core.id) {
+            rt::SendOutcome::Sent => {
+                core.queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push_back(value);
+                Ok(())
+            }
+            rt::SendOutcome::Disconnected => Err(SendError(value)),
+        }
+    }
+
+    fn model_recv<T>(core: &Core<T>) -> Result<T, RecvError> {
+        let ctx = rt::current().expect("model channel used outside a model execution");
+        match rt::channel_recv(&ctx, core.id) {
+            rt::RecvOutcome::Received => Ok(core
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+                .expect("queue slot reserved by the scheduler")),
+            rt::RecvOutcome::Disconnected => Err(RecvError),
+        }
+    }
+
+    impl<T> SyncSender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderImpl::Std(tx) => tx.send(value),
+                SenderImpl::Model(core) => model_send(core, value),
+            }
+        }
+    }
+
+    impl<T> Clone for SyncSender<T> {
+        fn clone(&self) -> Self {
+            match &self.0 {
+                SenderImpl::Std(tx) => SyncSender(SenderImpl::Std(tx.clone())),
+                SenderImpl::Model(core) => {
+                    if let Some(ctx) = rt::current() {
+                        rt::channel_sender_cloned(&ctx, core.id);
+                    }
+                    SyncSender(SenderImpl::Model(Arc::clone(core)))
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for SyncSender<T> {
+        fn drop(&mut self) {
+            if let SenderImpl::Model(core) = &self.0 {
+                if let Some(ctx) = rt::current() {
+                    rt::channel_sender_dropped(&ctx, core.id);
+                }
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                UnboundedImpl::Std(tx) => tx.send(value),
+                UnboundedImpl::Model(core) => model_send(core, value),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match &self.0 {
+                UnboundedImpl::Std(tx) => Sender(UnboundedImpl::Std(tx.clone())),
+                UnboundedImpl::Model(core) => {
+                    if let Some(ctx) = rt::current() {
+                        rt::channel_sender_cloned(&ctx, core.id);
+                    }
+                    Sender(UnboundedImpl::Model(Arc::clone(core)))
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if let UnboundedImpl::Model(core) = &self.0 {
+                if let Some(ctx) = rt::current() {
+                    rt::channel_sender_dropped(&ctx, core.id);
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match &self.0 {
+                ReceiverImpl::Std(rx) => rx.recv(),
+                ReceiverImpl::Model(core) => model_recv(core),
+            }
+        }
+
+        /// Drains until disconnect (used by collect loops).
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received messages, ending at disconnect.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if let ReceiverImpl::Model(core) = &self.0 {
+                if let Some(ctx) = rt::current() {
+                    rt::channel_receiver_dropped(&ctx, core.id);
+                }
+            }
+        }
+    }
+}

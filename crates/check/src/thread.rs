@@ -1,0 +1,92 @@
+//! Dual-mode threads: `spawn`/`join` that participate in the model
+//! scheduler inside an execution and delegate to `std::thread` outside
+//! one.
+
+use std::sync::Arc;
+
+use crate::rt;
+
+enum HandleImpl<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        state: Arc<rt::ModelJoinState<T>>,
+        os: std::thread::JoinHandle<()>,
+    },
+}
+
+/// Dual-mode counterpart of `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(HandleImpl<T>);
+
+/// Spawns a thread. Inside a model execution the child becomes a model
+/// thread: it runs only when scheduled, the spawn edge orders it after
+/// the spawner, and deadlocks involving it are detected.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle(HandleImpl::Std(std::thread::spawn(f))),
+        Some(ctx) => {
+            let (tid, state, os) = rt::spawn_model(&ctx, f);
+            JoinHandle(HandleImpl::Model { tid, state, os })
+        }
+    }
+}
+
+/// Spawn with a thread name (mirrors `std::thread::Builder` just far
+/// enough for the workspace's named worker threads).
+pub fn spawn_named<T, F>(name: String, f: F) -> std::io::Result<JoinHandle<T>>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => std::thread::Builder::new()
+            .name(name)
+            .spawn(f)
+            .map(|h| JoinHandle(HandleImpl::Std(h))),
+        Some(ctx) => {
+            // Model thread names are fixed by the runtime (t0, t1, …).
+            let _ = name;
+            let (tid, state, os) = rt::spawn_model(&ctx, f);
+            Ok(JoinHandle(HandleImpl::Model { tid, state, os }))
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Joins the thread. In model mode this blocks at the scheduler
+    /// level (so a join cycle is a detected deadlock, not a hang) and
+    /// establishes the join happens-before edge. `Err` carries no
+    /// payload in model mode — a panicked model thread already failed
+    /// the whole execution.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            HandleImpl::Std(h) => h.join(),
+            HandleImpl::Model { tid, state, os } => {
+                let ctx = rt::current().expect("model JoinHandle joined outside the execution");
+                rt::join_model(&ctx, tid);
+                let _ = os.join();
+                let v = state
+                    .result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take();
+                v.ok_or_else(|| -> Box<dyn std::any::Any + Send> {
+                    Box::new("model thread panicked".to_string())
+                })
+            }
+        }
+    }
+}
+
+/// A voluntary scheduling point in model mode; delegates to
+/// `std::thread::yield_now` otherwise.
+pub fn yield_now() {
+    match rt::current() {
+        None => std::thread::yield_now(),
+        Some(ctx) => rt::yield_point(&ctx),
+    }
+}

@@ -1,0 +1,164 @@
+//! Integration coverage for `spk_lint`: the workspace itself must be
+//! clean (the same invariant CI enforces via the `spk-lint` binary),
+//! and each rule must fire on a purpose-built fixture tree.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use spk_check::lint;
+
+fn workspace_root() -> PathBuf {
+    // crates/check -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// The invariant CI enforces: every rule passes over the live tree.
+/// A violation introduced anywhere in the workspace fails this test
+/// with the same file:line diagnostic the binary prints.
+#[test]
+fn the_workspace_is_lint_clean() {
+    let report = lint::run(&workspace_root()).expect("lint walk");
+    assert!(
+        report.clean(),
+        "spk-lint violations in the workspace:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "walk should cover the whole workspace, saw {} files",
+        report.files_scanned
+    );
+}
+
+/// Fixture helper: a throwaway tree under `target/` (ignored by the
+/// walker when nested, so each fixture gets its own root).
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Self {
+        let root = workspace_root()
+            .join("target")
+            .join("lint-fixtures")
+            .join(name);
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("src")).expect("fixture dirs");
+        fs::write(root.join("Cargo.toml"), "[package]\nname = \"fixture\"\n").unwrap();
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).unwrap();
+        }
+        fs::write(path, contents).unwrap();
+    }
+
+    fn run(&self) -> lint::LintReport {
+        lint::run(&self.root).expect("lint walk")
+    }
+
+    fn rules_fired(&self) -> Vec<&'static str> {
+        let mut rules: Vec<&'static str> = self.run().violations.iter().map(|v| v.rule).collect();
+        rules.dedup();
+        rules
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn safety_rule_fires_on_fixture() {
+    let fx = Fixture::new("safety");
+    fx.write(
+        "src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    assert_eq!(fx.rules_fired(), vec!["safety-comment"]);
+    let report = fx.run();
+    assert_eq!(report.violations[0].line, 2);
+}
+
+#[test]
+fn instant_now_rule_fires_outside_obs() {
+    let fx = Fixture::new("instant");
+    fx.write(
+        "crates/server/src/lib.rs",
+        "pub fn t() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
+    // The same call under crates/obs/ is the sanctioned home.
+    fx.write(
+        "crates/obs/src/lib.rs",
+        "pub fn t() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
+    let report = fx.run();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, "instant-now");
+    assert!(report.violations[0].file.contains("server"));
+}
+
+#[test]
+fn no_unwrap_rule_fires_in_server_sources_only() {
+    let fx = Fixture::new("unwrap");
+    let body = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    fx.write("crates/server/src/lib.rs", body);
+    fx.write("crates/core/src/lib.rs", body); // out of scope
+    let report = fx.run();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, "no-unwrap");
+}
+
+#[test]
+fn bench_schema_rule_fires_on_unversioned_report() {
+    let fx = Fixture::new("bench");
+    fx.write("BENCH_foo.json", "{\"results\": []}\n");
+    assert_eq!(fx.rules_fired(), vec!["bench-schema"]);
+    let fx2 = Fixture::new("bench-ok");
+    fx2.write(
+        "BENCH_foo.json",
+        "{\"schema\": \"spk_obs.run_report.v1\", \"results\": []}\n",
+    );
+    assert!(fx2.run().clean());
+}
+
+#[test]
+fn shim_parity_rule_fires_on_missing_item() {
+    let fx = Fixture::new("shims");
+    fx.write(
+        "crates/shims/rand/src/lib.rs",
+        "pub fn random() -> u64 { 4 }\n",
+    );
+    fx.write(
+        "crates/core/src/lib.rs",
+        "pub fn f() -> u64 { rand::random() + rand::thread_rng() }\n",
+    );
+    let report = fx.run();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, "shim-parity");
+    assert!(report.violations[0].message.contains("thread_rng"));
+}
+
+#[test]
+fn waivers_silence_a_rule_with_an_audit_trail() {
+    let fx = Fixture::new("waiver");
+    fx.write(
+        "crates/server/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 {\n    // spk-lint: allow(no-unwrap)\n    x.unwrap()\n}\n",
+    );
+    assert!(fx.run().clean());
+}

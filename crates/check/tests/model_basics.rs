@@ -1,0 +1,238 @@
+//! Functional coverage of the model checker itself: primitives behave,
+//! exhaustive DFS terminates, deadlocks are caught, and schedules are
+//! deterministic.
+
+use std::sync::atomic::Ordering;
+
+use spk_check::sync::{self, atomic::AtomicU64, Arc, Condvar, Mutex};
+use spk_check::{model, thread, Builder, FailureKind, Mode};
+
+#[test]
+fn mutex_counter_is_exclusive() {
+    let report = Builder::new().check(|| {
+        let n = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n = Arc::clone(&n);
+            handles.push(thread::spawn(move || {
+                let mut g = n.lock().unwrap();
+                let v = *g;
+                *g = v + 1;
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(!report.truncated);
+    assert!(
+        report.iterations >= 2,
+        "two contending threads must yield multiple interleavings, got {}",
+        report.iterations
+    );
+}
+
+#[test]
+fn atomic_counter_never_loses_updates() {
+    model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+}
+
+#[test]
+fn channel_delivers_in_order_and_blocks_when_full() {
+    let report = Builder::new().check(|| {
+        let (tx, rx) = sync::mpsc::sync_channel::<u32>(1);
+        let t = thread::spawn(move || {
+            // Capacity 1: the second send must block until the main
+            // thread drains — exercised under every interleaving.
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            tx.send(3).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+        assert!(rx.recv().is_err(), "sender dropped -> disconnect");
+        t.join().unwrap();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(!report.truncated);
+}
+
+#[test]
+fn ab_ba_lock_order_deadlock_is_detected() {
+    let report = Builder::new().check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop((_ga, _gb));
+        t.join().unwrap();
+    });
+    let failure = report
+        .failure
+        .expect("AB-BA ordering must deadlock somewhere");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(
+        failure.message.contains("Mutex"),
+        "deadlock report should name the blocking primitive: {}",
+        failure.message
+    );
+    assert!(
+        !failure.trace.is_empty(),
+        "failure must carry a schedule trace"
+    );
+}
+
+#[test]
+fn join_returns_the_thread_value() {
+    model(|| {
+        let t = thread::spawn(|| 41 + 1);
+        assert_eq!(t.join().unwrap(), 42);
+    });
+}
+
+#[test]
+fn condvar_handoff_completes_everywhere() {
+    // Correct usage: predicate + notify under the lock. Must pass
+    // under every interleaving (spurious-wakeup-safe by construction).
+    let report = Builder::new().check(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock().unwrap();
+            *ready = true;
+            cv.notify_one();
+            drop(ready);
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(!report.truncated);
+}
+
+#[test]
+fn assertion_failures_are_reported_with_the_schedule() {
+    let report = Builder::new().check(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.store(1, Ordering::Relaxed);
+        });
+        // Wrong: asserts before joining — fails in the interleaving
+        // where the child has not run yet.
+        assert_eq!(n.load(Ordering::Relaxed), 1, "seeded assertion");
+        t.join().unwrap();
+    });
+    let failure = report.failure.expect("some interleaving sees 0");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("seeded assertion"),
+        "{}",
+        failure.message
+    );
+}
+
+#[test]
+fn same_seed_same_schedules() {
+    fn run(seed: u64) -> u64 {
+        Builder::new()
+            .mode(Mode::Random { seed })
+            .max_iterations(50)
+            .check(|| {
+                let n = Arc::new(Mutex::new(0u64));
+                let mut handles = Vec::new();
+                for _ in 0..3 {
+                    let n = Arc::clone(&n);
+                    handles.push(thread::spawn(move || {
+                        *n.lock().unwrap() += 1;
+                    }));
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+            .schedule_digest
+    }
+    let a = run(0xfeed);
+    let b = run(0xfeed);
+    let c = run(0xbeef);
+    assert_eq!(
+        a, b,
+        "same seed must replay the exact same schedule sequence"
+    );
+    assert_ne!(a, c, "different seeds should explore different schedules");
+}
+
+#[test]
+fn preemption_budget_bounds_the_space() {
+    fn iterations(budget: usize) -> u64 {
+        Builder::new()
+            .max_preemptions(budget)
+            .check(|| {
+                let n = Arc::new(AtomicU64::new(0));
+                let mut handles = Vec::new();
+                for _ in 0..2 {
+                    let n = Arc::clone(&n);
+                    handles.push(thread::spawn(move || {
+                        n.fetch_add(1, Ordering::Relaxed);
+                        n.fetch_add(1, Ordering::Relaxed);
+                    }));
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+            .iterations
+    }
+    let p0 = iterations(0);
+    let p1 = iterations(1);
+    let unbounded = iterations(usize::MAX);
+    assert!(
+        p0 < p1 && p1 < unbounded,
+        "schedule count must grow with the preemption budget: {p0} / {p1} / {unbounded}"
+    );
+}
+
+#[test]
+fn primitives_delegate_to_std_outside_the_model() {
+    // The dual-mode contract: the same types work as plain std
+    // wrappers when no execution is active (this is what keeps
+    // `--cfg spk_model` builds usable outside `model()`).
+    let n = Arc::new(Mutex::new(0u64));
+    let a = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = sync::mpsc::sync_channel::<u32>(4);
+    let n2 = Arc::clone(&n);
+    let a2 = Arc::clone(&a);
+    let t = thread::spawn(move || {
+        *n2.lock().unwrap() += 1;
+        a2.fetch_add(1, Ordering::SeqCst);
+        tx.send(7).unwrap();
+    });
+    assert_eq!(rx.recv().unwrap(), 7);
+    t.join().unwrap();
+    assert_eq!(*n.lock().unwrap(), 1);
+    assert_eq!(a.load(Ordering::SeqCst), 1);
+}

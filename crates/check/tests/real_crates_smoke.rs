@@ -1,0 +1,48 @@
+//! Smoke tests for the cfg-gated sync aliases: the REAL `spk_server`
+//! and `spk_obs` (not extracted replicas) must behave identically
+//! whether their primitives are `std::sync` (default build) or
+//! `spk_check::sync` in std-delegate mode (`--cfg spk_model` build,
+//! outside `model()`). CI runs this file in both configurations; a
+//! shim that diverges from std semantics fails here before it can
+//! corrupt a model-checking run.
+
+use spk_server::{AggregatorService, ServiceConfig};
+use spk_sparse::CscMatrix;
+
+/// Full service round-trip through the aliased channels, worker
+/// threads, and atomics: submit across real shard workers, finalize
+/// with the two-round protocol, verify the exact sum and the metrics
+/// counters the relaxed atomics carry.
+#[test]
+fn aggregator_round_trip_is_exact_under_both_sync_backends() {
+    let svc = AggregatorService::<f64>::new(8, 8, ServiceConfig::with_shards(3));
+    for _ in 0..4 {
+        svc.submit("smoke", &CscMatrix::identity(8)).unwrap();
+    }
+    let sum = svc.finalize("smoke").unwrap();
+    for i in 0..8 {
+        assert_eq!(sum.get(i, i).unwrap(), 4.0);
+    }
+    let metrics = svc.metrics();
+    assert_eq!(metrics.submitted, 4);
+    assert_eq!(metrics.slices_routed(), 12, "4 matrices x 3 shards");
+    assert!(
+        metrics.shards.iter().all(|s| s.queue_depth == 0),
+        "finalize must drain every queue"
+    );
+}
+
+/// Span recording through the aliased obs ring (`SlotCell` backed by
+/// `spk_check::cell::UnsafeCell` under `--cfg spk_model`): the
+/// write-once claim protocol still publishes every record.
+#[test]
+fn obs_spans_record_and_drain_under_both_sync_backends() {
+    spk_obs::set_tracing(true);
+    for _ in 0..16 {
+        let _span = spk_obs::span!("smoke.ring.span");
+    }
+    spk_obs::set_tracing(false);
+    let spans = spk_obs::take_spans();
+    let mine = spans.iter().filter(|s| s.name == "smoke.ring.span").count();
+    assert!(mine >= 16, "all published slots must drain, saw {mine}");
+}

@@ -1,0 +1,257 @@
+//! Model-checks the shard submit→flush→finalize→collect handoff: a
+//! miniature replica of `spk_server::service`'s per-shard worker loop
+//! (bounded slab queue, FIFO message processing, two-round finalize
+//! over per-round reply channels, relaxed metric counters), small
+//! enough for exhaustive DFS.
+//!
+//! The load-bearing ordering facts these tests pin down:
+//!
+//! 1. The slab queue is FIFO and `Finalize` travels on the *same*
+//!    queue, so every slab sent before a finalize is folded before the
+//!    counts reply is computed.
+//! 2. The relaxed metric counters are only finalize-visible *through*
+//!    the reply-channel happens-before edge — a weakened variant that
+//!    reads them before the reply is caught as a failing interleaving
+//!    (the regression test for the submit/flush/metrics ordering).
+
+use std::sync::atomic::Ordering;
+
+use spk_check::sync::{
+    atomic::AtomicU64,
+    mpsc::{channel, sync_channel, Receiver, Sender, SyncSender},
+    Arc,
+};
+use spk_check::{thread, Builder, FailureKind};
+
+/// Mirror of `spk_server::service::Msg`, value payloads instead of
+/// matrices.
+enum Msg {
+    Slab(u64),
+    /// Round 1: flush pending slabs into the partial, stash it, answer
+    /// how many slabs were folded.
+    Finalize {
+        reply: Sender<u64>,
+    },
+    /// Round 2: hand over (and forget) the stashed partial.
+    Collect {
+        reply: Sender<u64>,
+    },
+    Shutdown,
+}
+
+/// Mirror of `ShardInstruments`: relaxed counters shared with the
+/// submitting thread, exactly like the registry-backed `Counter`s.
+struct Instruments {
+    slices: AtomicU64,
+    queue_depth: AtomicU64,
+}
+
+/// The extracted worker loop: batch up to `batch` pending slabs, flush
+/// into a running partial, stash on finalize.
+fn shard_worker(rx: Receiver<Msg>, ins: Arc<Instruments>, batch: usize) {
+    let mut pending: Vec<u64> = Vec::new();
+    let mut partial: u64 = 0;
+    let mut folded: u64 = 0;
+    let mut stashed: Option<(u64, u64)> = None;
+    loop {
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        match msg {
+            Msg::Slab(v) => {
+                ins.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                ins.slices.fetch_add(1, Ordering::Relaxed);
+                pending.push(v);
+                if pending.len() >= batch {
+                    partial += pending.drain(..).sum::<u64>();
+                }
+            }
+            Msg::Finalize { reply } => {
+                partial += pending.drain(..).sum::<u64>();
+                folded = ins.slices.load(Ordering::Relaxed);
+                stashed = Some((partial, folded));
+                partial = 0;
+                let _ = reply.send(folded);
+            }
+            Msg::Collect { reply } => {
+                let (value, _) = stashed.take().expect("collect without finalize");
+                let _ = reply.send(value);
+            }
+            Msg::Shutdown => break,
+        }
+    }
+    let _ = (folded, partial);
+}
+
+struct MiniShard {
+    tx: SyncSender<Msg>,
+    ins: Arc<Instruments>,
+    handle: spk_check::thread::JoinHandle<()>,
+}
+
+fn spawn_shard(queue_cap: usize, batch: usize) -> MiniShard {
+    let (tx, rx) = sync_channel(queue_cap);
+    let ins = Arc::new(Instruments {
+        slices: AtomicU64::new(0),
+        queue_depth: AtomicU64::new(0),
+    });
+    let worker_ins = Arc::clone(&ins);
+    let handle = thread::spawn(move || shard_worker(rx, worker_ins, batch));
+    MiniShard { tx, ins, handle }
+}
+
+impl MiniShard {
+    fn submit(&self, v: u64) {
+        self.tx.send(Msg::Slab(v)).unwrap();
+        self.ins.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Round 1 — returns the number of slabs the flush folded.
+    fn finalize(&self) -> u64 {
+        let (reply_tx, reply_rx) = channel();
+        self.tx.send(Msg::Finalize { reply: reply_tx }).unwrap();
+        reply_rx.recv().unwrap()
+    }
+
+    /// Round 2 — returns the stashed partial.
+    fn collect(&self) -> u64 {
+        let (reply_tx, reply_rx) = channel();
+        self.tx.send(Msg::Collect { reply: reply_tx }).unwrap();
+        reply_rx.recv().unwrap()
+    }
+
+    fn shutdown(self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        drop(self.tx);
+        self.handle.join().unwrap();
+    }
+}
+
+/// The full pipeline against one shard with a capacity-1 queue (real
+/// backpressure: the producer blocks while the worker folds): every
+/// interleaving folds every slab before the counts reply, finalize
+/// leaves the queue drained, and collect returns the exact partial.
+/// DFS is preemption-bounded (CHESS-style) — unbounded exploration of
+/// this chain tops 100k schedules; two preemptions is the published
+/// bound that finds almost all real bugs.
+#[test]
+fn handoff_pipeline_is_sound_under_every_interleaving() {
+    let report = Builder::new().max_preemptions(2).check(|| {
+        let shard = spawn_shard(1, 2);
+        shard.submit(5);
+        shard.submit(7);
+        shard.submit(11);
+        let folded = shard.finalize();
+        // FIFO queue ordering: Finalize was enqueued after all three
+        // slabs, so the flush saw all of them — in EVERY interleaving.
+        assert_eq!(folded, 3, "finalize must fold every earlier slab");
+        // The reply recv is the happens-before edge that makes the
+        // relaxed counters trustworthy from this thread.
+        assert_eq!(shard.ins.slices.load(Ordering::Relaxed), 3);
+        assert_eq!(shard.ins.queue_depth.load(Ordering::Relaxed), 0);
+        assert_eq!(shard.collect(), 5 + 7 + 11);
+        shard.shutdown();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        !report.truncated,
+        "bounded DFS must complete within the cap"
+    );
+    eprintln!(
+        "shard handoff: preemption-bounded DFS over {} interleavings, clean",
+        report.iterations
+    );
+    assert!(
+        report.iterations > 1,
+        "backpressure must create real choices"
+    );
+}
+
+/// Regression test for the metrics-visibility ordering: reading the
+/// relaxed `slices` counter WITHOUT the reply edge (right after the
+/// sends) is wrong in some interleavings — the worker may not have
+/// dequeued yet. The checker must find that failing interleaving,
+/// proving the reply-edge ordering in the sound test above is
+/// load-bearing rather than incidental.
+#[test]
+fn metrics_read_without_the_reply_edge_has_a_failing_interleaving() {
+    let report = Builder::new().max_iterations(10_000).check(|| {
+        let shard = spawn_shard(2, 2);
+        shard.submit(5);
+        shard.submit(7);
+        // BUG under test: no happens-before edge between the worker's
+        // fetch_adds and this load.
+        assert_eq!(
+            shard.ins.slices.load(Ordering::Relaxed),
+            2,
+            "premature metrics read"
+        );
+        shard.shutdown();
+    });
+    let failure = report
+        .failure
+        .expect("premature metrics read must fail in some interleaving");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("premature metrics read"));
+    eprintln!(
+        "premature metrics read: failing interleaving found after {} iteration(s)",
+        report.iterations
+    );
+}
+
+/// Two shards, finalize broadcast-then-drain exactly like
+/// `AggregatorService::finalize` round 1 (send to every shard before
+/// receiving any reply): sound in every interleaving, and the global
+/// sum assembled from the collected partials is exact.
+#[test]
+fn two_shard_broadcast_then_drain_finalize_is_sound() {
+    let report = Builder::new().max_preemptions(2).check(|| {
+        let shards = [spawn_shard(1, 1), spawn_shard(1, 1)];
+        // submit() routes one slab to every shard, like row_split.
+        for shard in &shards {
+            shard.submit(3);
+        }
+        // Round 1: broadcast every Finalize before draining any reply.
+        let replies: Vec<Receiver<u64>> = shards
+            .iter()
+            .map(|shard| {
+                let (reply_tx, reply_rx) = channel();
+                shard.tx.send(Msg::Finalize { reply: reply_tx }).unwrap();
+                reply_rx
+            })
+            .collect();
+        for rx in &replies {
+            assert_eq!(rx.recv().unwrap(), 1);
+        }
+        // Round 2: collect shard by shard, in shard order.
+        let total: u64 = shards.iter().map(|shard| shard.collect()).sum();
+        assert_eq!(total, 2 * 3);
+        for shard in shards {
+            shard.shutdown();
+        }
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(!report.truncated);
+    eprintln!(
+        "two-shard finalize: preemption-bounded DFS over {} interleavings, clean",
+        report.iterations
+    );
+}
+
+/// Dropping the service (sender side) instead of sending `Shutdown`
+/// still terminates the worker — no interleaving leaks a blocked
+/// worker or deadlocks the join.
+#[test]
+fn sender_drop_terminates_the_worker_in_every_interleaving() {
+    let report = Builder::new().check(|| {
+        let shard = spawn_shard(1, 1);
+        shard.submit(9);
+        let MiniShard { tx, ins, handle } = shard;
+        drop(tx); // hang-up instead of Shutdown
+        handle.join().unwrap();
+        assert_eq!(ins.slices.load(Ordering::Relaxed), 1);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(!report.truncated);
+}

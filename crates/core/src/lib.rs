@@ -65,6 +65,10 @@
 //! compatibility shims over a throwaway plan; prefer holding a
 //! [`SpkAddPlan`] anywhere an addition runs more than once.
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 pub mod dcscadd;
 pub mod error;
 pub mod hashtab;

@@ -250,7 +250,7 @@ impl<T: Element, O: Monoid<Value = T>> StreamingAccumulator<T, O> {
             return Ok(());
         }
         let _span = spk_obs::span!("stream.flush");
-        let now = std::time::Instant::now();
+        let now = spk_obs::now();
         if let Some(prev) = self.last_flush.replace(now) {
             self.flush_interval_obs
                 .record(now.duration_since(prev).as_nanos() as u64);

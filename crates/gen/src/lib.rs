@@ -20,6 +20,10 @@
 //! independent of thread count: parallel generation uses a fixed fan-out
 //! of per-chunk RNG streams derived from the seed.
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 pub mod protein;
 pub mod rmat;
 pub mod split;

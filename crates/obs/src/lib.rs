@@ -38,6 +38,19 @@ pub mod metrics;
 pub mod report;
 pub mod schema;
 pub mod span;
+pub(crate) mod sync_shim;
+
+/// The workspace's one sanctioned clock read.
+///
+/// Everything outside this crate that needs a raw timestamp calls
+/// `spk_obs::now()` instead of `Instant::now()` (enforced by the
+/// `instant-now` rule of `spk-lint`), so timing provenance stays in
+/// one place: spans, [`timed`], and ad-hoc durations all read the same
+/// clock, and a future virtual/mock clock has a single seam.
+#[inline]
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}
 
 pub use json::Json;
 pub use metrics::{

@@ -14,10 +14,12 @@
 //! into service totals in any grouping — the same contract the server
 //! crate's delta-synced shard metrics relied on.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 use crate::json::Json;
+// Hot-path atomics and the registry lock ride the cfg-gated shim so
+// `--cfg spk_model` can model-check metric delta sync (sync_shim.rs).
+use crate::sync_shim::{AtomicI64, AtomicU64, Mutex, Ordering};
 
 /// `spk_obs.metrics.v1` — schema id stamped on metrics snapshots.
 pub const METRICS_SCHEMA: &str = "spk_obs.metrics.v1";

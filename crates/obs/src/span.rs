@@ -28,9 +28,13 @@
 //!   even if inner guards were leaked.
 
 use std::cell::{Cell, OnceCell};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+// Concurrency-bearing primitives come from the cfg-gated shim: `std`
+// by default, `spk_check` under `--cfg spk_model` so the claim/publish
+// protocol below is model-checkable (see sync_shim.rs).
+use crate::sync_shim::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Mutex, Ordering, SlotCell};
 
 /// Records per thread before the ring drops new spans (~640 KiB).
 pub const RING_CAPACITY: usize = 16_384;
@@ -120,7 +124,7 @@ const EMPTY_RECORD: SpanRecord = SpanRecord {
 
 struct Ring {
     thread: u32,
-    slots: Box<[std::cell::UnsafeCell<SpanRecord>]>,
+    slots: Box<[SlotCell<SpanRecord>]>,
     /// Published record count. Only the owner thread stores (Release);
     /// drainers load (Acquire).
     len: AtomicUsize,
@@ -129,11 +133,24 @@ struct Ring {
     dropped: AtomicU64,
 }
 
-// SAFETY: slot `i` is written exactly once, by the owner thread, before
-// `len` is published past `i` with Release ordering; every other thread
-// only reads slots below an Acquire-loaded `len`. A slot below the
-// published length is therefore immutable for as long as it is visible.
+// SAFETY: (Send) a `Ring` moved to / dropped on another thread is
+// sound because the write-once claim protocol never depends on *which*
+// thread owns it, only that at most one thread plays the writer role:
+// `push` is reached exclusively through the owner's thread-local
+// handle, so ownership of the writer role transfers with the
+// thread-local, never by `Send`ing the ring itself mid-write.
 unsafe impl Send for Ring {}
+
+// SAFETY: (Sync) concurrent `&Ring` access is partitioned by the
+// claim/publish protocol. Slot `i` is written exactly once, by the
+// owner thread, strictly before `len` is published past `i` with a
+// `Release` store; every other thread reads only slots below an
+// `Acquire`-loaded `len`. A published slot is never written again
+// until after it has been drained (drains are serialized by the
+// `RINGS` lock, and `taken ≤ len` always), so no `&Ring` alias can
+// observe a slot mid-write. This protocol is model-checked in
+// `crates/check/tests/ring_protocol.rs` and, under `--cfg spk_model`,
+// on this very type.
 unsafe impl Sync for Ring {}
 
 impl Ring {
@@ -145,7 +162,7 @@ impl Ring {
         }
         // SAFETY: only the owner thread calls `push`, and slot `len` is
         // not yet published, so no other thread may be reading it.
-        unsafe { *self.slots[len].get() = rec };
+        unsafe { self.slots[len].write(rec) };
         self.len.store(len + 1, Ordering::Release);
     }
 }
@@ -160,7 +177,7 @@ impl ThreadObs {
         self.ring.get_or_init(|| {
             let thread = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
             let slots: Box<[_]> = (0..RING_CAPACITY)
-                .map(|_| std::cell::UnsafeCell::new(EMPTY_RECORD))
+                .map(|_| SlotCell::new(EMPTY_RECORD))
                 .collect();
             let ring = Arc::new(Ring {
                 thread,
@@ -304,7 +321,7 @@ pub fn take_spans() -> Vec<SpanRecord> {
         for slot in &ring.slots[taken..len] {
             // SAFETY: indices below the Acquire-loaded `len` are
             // published and never written again (see `Ring`).
-            out.push(unsafe { *slot.get() });
+            out.push(unsafe { slot.read() });
         }
         ring.taken.store(len, Ordering::Relaxed);
     }

@@ -1,0 +1,90 @@
+//! cfg-gated sync primitives: the concurrency-bearing pieces of this
+//! crate (ring claim/publish, overflow counter, metrics registry) are
+//! written against these aliases instead of `std::sync` directly.
+//!
+//! * Default build: plain re-exports of `std` — zero cost, identical
+//!   code to before the aliasing.
+//! * `--cfg spk_model` (set via `RUSTFLAGS`, used by
+//!   `cargo test -p spk-check`): the same names resolve to
+//!   `spk_check::sync` / `spk_check::cell`, whose operations are
+//!   scheduling points of the model checker. Outside a `model()`
+//!   execution those wrappers delegate straight back to `std`, so a
+//!   `spk_model` build still behaves normally in ordinary tests.
+//!
+//! Keep this module's surface to exactly what the crate uses — it is
+//! the contract the model checker exercises.
+
+#[cfg(not(spk_model))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize};
+#[cfg(not(spk_model))]
+pub(crate) use std::sync::Mutex;
+
+#[cfg(spk_model)]
+pub(crate) use spk_check::sync::atomic::{
+    AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize,
+};
+#[cfg(spk_model)]
+pub(crate) use spk_check::sync::Mutex;
+
+pub(crate) use std::sync::atomic::Ordering;
+
+/// One write-once ring slot: an `UnsafeCell` whose accesses the model
+/// checker can see. The `unsafe fn` contract is identical in both
+/// modes — callers uphold the ring's claim/publish protocol; the model
+/// build merely *verifies* it (a read racing a write fails the model
+/// run instead of being silent UB).
+#[derive(Debug)]
+pub(crate) struct SlotCell<T>(
+    #[cfg(not(spk_model))] std::cell::UnsafeCell<T>,
+    #[cfg(spk_model)] spk_check::cell::UnsafeCell<T>,
+);
+
+impl<T: Copy> SlotCell<T> {
+    pub(crate) const fn new(v: T) -> Self {
+        #[cfg(not(spk_model))]
+        {
+            SlotCell(std::cell::UnsafeCell::new(v))
+        }
+        #[cfg(spk_model)]
+        {
+            SlotCell(spk_check::cell::UnsafeCell::new(v))
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The caller must guarantee no concurrent access to this slot:
+    /// for the span ring, only the owner thread writes, and only to
+    /// slots at or above the published length.
+    pub(crate) unsafe fn write(&self, v: T) {
+        #[cfg(not(spk_model))]
+        // SAFETY: forwarded from the caller (exclusive access to the
+        // slot) — see this function's `# Safety` contract.
+        unsafe {
+            *self.0.get() = v;
+        }
+        #[cfg(spk_model)]
+        // SAFETY: as above; under the model the checker additionally
+        // verifies the exclusivity claim and fails the run if violated.
+        self.0.with_mut(|p| unsafe { *p = v });
+    }
+
+    /// # Safety
+    ///
+    /// The caller must guarantee the slot is not being written
+    /// concurrently: for the span ring, only slots below an
+    /// `Acquire`-loaded published length are read, and those are never
+    /// written again until drained.
+    pub(crate) unsafe fn read(&self) -> T {
+        #[cfg(not(spk_model))]
+        // SAFETY: forwarded from the caller (slot published and
+        // immutable) — see this function's `# Safety` contract.
+        unsafe {
+            *self.0.get()
+        }
+        #[cfg(spk_model)]
+        // SAFETY: as above; the model build re-checks the claim via
+        // happens-before tracking.
+        self.0.with(|p| unsafe { *p })
+    }
+}

@@ -51,8 +51,13 @@
 //! assert_eq!(sum.get(3, 3).unwrap(), 2.0);
 //! ```
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 pub mod plan;
 pub mod service;
+pub(crate) mod sync_shim;
 
 pub use plan::ShardPlan;
 pub use service::{AggregatorService, ServiceConfig, ServiceMetrics, ShardMetrics};

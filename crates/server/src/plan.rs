@@ -35,7 +35,7 @@ impl ShardPlan {
         assert!(bounds.len() >= 2, "need at least one shard");
         assert_eq!(bounds[0], 0, "first boundary must be 0");
         assert_eq!(
-            *bounds.last().unwrap(),
+            bounds[bounds.len() - 1],
             nrows,
             "last boundary must be nrows"
         );

@@ -27,11 +27,17 @@ use spkadd::{
 };
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
+
+// Channels, worker handles, and the submit counter come from the
+// cfg-gated shim: `std` by default, `spk_check`'s model-aware
+// primitives under `--cfg spk_model` so the submit→flush→finalize
+// handoff is model-checkable (see sync_shim.rs).
+use crate::sync_shim::{
+    channel, spawn_worker, sync_channel, AtomicU64, JoinHandle, Ordering, Receiver, Sender,
+    SyncSender,
+};
 
 /// Configuration for [`AggregatorService`].
 #[derive(Debug, Clone)]
@@ -372,14 +378,11 @@ impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
             let algorithm = config.algorithm;
             let opts = shard_opts.clone();
             let worker_ins = Arc::clone(&ins);
-            let handle = std::thread::Builder::new()
-                .name(format!("spk-shard-{s}"))
-                .spawn(move || {
-                    shard_worker(
-                        rx, shard_rows, ncols, algorithm, policy, opts, monoid, worker_ins,
-                    )
-                })
-                .expect("failed to spawn shard worker");
+            let handle = spawn_worker(format!("spk-shard-{s}"), move || {
+                shard_worker(
+                    rx, shard_rows, ncols, algorithm, policy, opts, monoid, worker_ins,
+                )
+            });
             senders.push(tx);
             instruments.push(ins);
             workers.push(handle);
@@ -444,7 +447,7 @@ impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
             }));
         }
         let key: Arc<str> = Arc::from(key);
-        let submitted_at = Instant::now();
+        let submitted_at = spk_obs::now();
         // One pass over the matrix produces every shard's slab. Route to
         // every live shard even if one is down, so the surviving shards
         // stay mutually consistent; the error still reports the outage.
@@ -496,7 +499,7 @@ impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
         let mut first_error: Option<ServerError> = None;
         let mut replies = Vec::with_capacity(self.senders.len());
         for (s, tx) in self.senders.iter().enumerate() {
-            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            let (reply_tx, reply_rx) = channel();
             match tx.send(Msg::Finalize {
                 key: Arc::clone(&key),
                 reply: reply_tx,
@@ -603,7 +606,7 @@ impl<T: Element, O: Monoid<Value = T>> AggregatorService<T, O> {
     /// Sends a round-2 `Collect` for `key` to shard `s`; `None` if the
     /// shard is down.
     fn collect_from(&self, s: usize, key: &Arc<str>) -> Option<Receiver<ShardReply<T>>> {
-        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let (reply_tx, reply_rx) = channel();
         self.senders[s]
             .send(Msg::Collect {
                 key: Arc::clone(key),
@@ -727,7 +730,7 @@ fn sync_kernel_counters<T: Element, O: Monoid<Value = T>>(
 /// Drains the pending submit timestamps into the shard's latency
 /// histogram — called after a flush folded the whole pending batch.
 fn record_flush_latencies(pending_since: &mut Vec<Instant>, instruments: &ShardInstruments) {
-    let now = Instant::now();
+    let now = spk_obs::now();
     for t in pending_since.drain(..) {
         instruments
             .flush_latency_ns

@@ -1,0 +1,52 @@
+//! cfg-gated sync primitives for the shard machinery: the worker loop,
+//! the bounded submit/flush/finalize channels, and the metrics counter
+//! are written against these aliases instead of `std` directly.
+//!
+//! * Default build: plain `std` re-exports — identical code to before
+//!   the aliasing.
+//! * `--cfg spk_model` (via `RUSTFLAGS`, used by
+//!   `cargo test -p spk-check`): the names resolve to `spk_check`'s
+//!   model-aware primitives, whose every operation is a scheduling
+//!   point, so the submit→flush→finalize handoff is model-checkable.
+//!   Outside a `model()` execution they delegate straight back to
+//!   `std`, so a `spk_model` build still runs the ordinary test suite.
+
+#[cfg(not(spk_model))]
+pub(crate) use std::sync::atomic::AtomicU64;
+#[cfg(not(spk_model))]
+pub(crate) use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+#[cfg(not(spk_model))]
+pub(crate) use std::thread::JoinHandle;
+
+#[cfg(spk_model)]
+pub(crate) use spk_check::sync::atomic::AtomicU64;
+#[cfg(spk_model)]
+pub(crate) use spk_check::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+#[cfg(spk_model)]
+pub(crate) use spk_check::thread::JoinHandle;
+
+pub(crate) use std::sync::atomic::Ordering;
+
+/// Spawns a named worker thread. The std path aborts on spawn failure
+/// (thread exhaustion at service construction is unrecoverable and
+/// pre-request, so the no-unwrap rule is waived); the model path
+/// registers the thread with the scheduler.
+pub(crate) fn spawn_worker<F>(name: String, f: F) -> JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    #[cfg(not(spk_model))]
+    {
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(f)
+            // spk-lint: allow(no-unwrap)
+            .expect("failed to spawn shard worker")
+    }
+    #[cfg(spk_model)]
+    {
+        spk_check::thread::spawn_named(name, f)
+            // spk-lint: allow(no-unwrap)
+            .expect("failed to spawn shard worker")
+    }
+}

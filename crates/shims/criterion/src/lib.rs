@@ -13,6 +13,10 @@
 //! Good enough to compare algorithms and observe scaling trends; not a
 //! replacement for criterion's confidence intervals.
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

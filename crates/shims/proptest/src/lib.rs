@@ -11,6 +11,10 @@
 //! big thing real proptest adds that this shim does not is *shrinking* —
 //! on failure you get the raw counterexample, not a minimal one.
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     //! The [`Strategy`] trait and its combinators.
 

@@ -10,6 +10,10 @@
 //! The exact streams differ from the real crate's — all workspace tests
 //! assert distributional or determinism properties, never specific draws.
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 /// A source of random 64-bit words.
 pub trait RngCore {
     /// The next 64 random bits.

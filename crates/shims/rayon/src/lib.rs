@@ -16,6 +16,10 @@
 //! rayon's indexed parallel iterators. When the effective thread count is 1
 //! (or the input is tiny) everything runs inline with zero overhead.
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 use std::cell::Cell;
 
 thread_local! {

@@ -19,6 +19,10 @@
 //! exactly the precondition the 2-way and heap SpKAdd algorithms require
 //! (Table I of the paper: "need sorted inputs?").
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 pub mod coo;
 pub mod csc;
 pub mod csr;

@@ -19,6 +19,10 @@
 //!   the incumbent in CombBLAS; it requires sorted `A` columns and emits
 //!   sorted output by construction.
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 use rayon::prelude::*;
 use spk_sparse::{ColView, CscMatrix, Scalar, SparseError};
 use spkadd::hashtab::{HashAccumulator, SymbolicHashTable};

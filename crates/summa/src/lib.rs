@@ -16,11 +16,14 @@
 //! exactly what Fig 6 reports ("excluding the communication costs").
 //! See DESIGN.md, substitution 2.
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 use rayon::prelude::*;
 use spk_sparse::{CooMatrix, CscMatrix, SparseError};
 use spk_spgemm::{spgemm_hash, SpgemmOptions};
 use spkadd::{Algorithm, Options, SpkaddError};
-use std::time::Instant;
 
 /// Which SpKAdd variant reduces the per-process intermediates, matching
 /// the three bars of Fig 6.
@@ -265,13 +268,13 @@ pub fn run_summa(
                 let mut timing = ProcessTiming::default();
                 let mut partials: Vec<CscMatrix<f64>> = Vec::with_capacity(q);
                 for s in 0..q {
-                    let t0 = Instant::now();
+                    let t0 = spk_obs::now();
                     let c = spgemm_hash(&a_blocks[i][s], &b_blocks[s][j], &mul_opts)?;
                     timing.multiply += t0.elapsed().as_secs_f64();
                     partials.push(c);
                 }
                 let refs: Vec<&CscMatrix<f64>> = partials.iter().collect();
-                let t0 = Instant::now();
+                let t0 = spk_obs::now();
                 let block = spkadd::spkadd_with(&refs, alg, &add_opts)?;
                 timing.spkadd += t0.elapsed().as_secs_f64();
                 Ok((pid, block, timing))
@@ -370,7 +373,7 @@ pub fn run_summa_3d(
     let mut add_opts = Options::default();
     add_opts.validate_sorted = false;
     add_opts.threads = cfg.threads;
-    let t0 = Instant::now();
+    let t0 = spk_obs::now();
     let result = spkadd::spkadd_with(&refs, cfg.reduction.algorithm(), &add_opts)?;
     let spkadd_inter_total = t0.elapsed().as_secs_f64();
 

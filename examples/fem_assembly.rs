@@ -83,7 +83,7 @@ fn main() {
             soften(&mut batches, 0.97); // new stiffnesses, identical sparsity
         }
         let refs: Vec<&CscMatrix<f64>> = batches.iter().collect();
-        let t = std::time::Instant::now();
+        let t = spk_obs::now();
         let stats = plan
             .execute_into_timed(&refs, &mut global)
             .expect("assembly");

@@ -58,7 +58,7 @@ fn main() {
 
     // --- the aggregation service: k concurrent producers, S shards ----
     let svc = AggregatorService::new(rows, cols, ServiceConfig::with_shards(shards));
-    let t = std::time::Instant::now();
+    let t = spk_obs::now();
     std::thread::scope(|scope| {
         for g in &grads {
             let svc = &svc;
@@ -77,11 +77,11 @@ fn main() {
 
     // --- reference reductions on the same collection ------------------
     let opts = Options::default();
-    let t = std::time::Instant::now();
+    let t = spk_obs::now();
     let inc = spkadd_with(&refs, Algorithm::TwoWayIncremental, &opts).expect("incremental failed");
     let t_inc = t.elapsed().as_secs_f64();
 
-    let t = std::time::Instant::now();
+    let t = spk_obs::now();
     let hash = spkadd_with(&refs, Algorithm::Hash, &opts).expect("hash failed");
     let t_hash = t.elapsed().as_secs_f64();
 

@@ -27,7 +27,7 @@ fn main() {
     let opts = Options::default();
 
     // 1. The paper's winner: hash SpKAdd.
-    let t = std::time::Instant::now();
+    let t = spk_obs::now();
     let hash = spkadd_with(&refs, Algorithm::Hash, &opts).expect("hash spkadd");
     println!(
         "hash:        {} output nnz (cf = {:.3}) in {:.1} ms",
@@ -37,7 +37,7 @@ fn main() {
     );
 
     // 2. The classic baseline: a balanced tree of pairwise merges.
-    let t = std::time::Instant::now();
+    let t = spk_obs::now();
     let tree = spkadd_with(&refs, Algorithm::TwoWayTree, &opts).expect("tree spkadd");
     println!(
         "2-way tree:  {} output nnz in {:.1} ms",
@@ -46,7 +46,7 @@ fn main() {
     );
 
     // 3. Let the library pick (Fig 2 decision surface).
-    let t = std::time::Instant::now();
+    let t = spk_obs::now();
     let auto = spkadd_auto(&refs, &opts).expect("auto spkadd");
     println!(
         "auto:        {} output nnz in {:.1} ms",
@@ -61,10 +61,10 @@ fn main() {
         .algorithm(Algorithm::Auto)
         .build()
         .expect("plan");
-    let t = std::time::Instant::now();
+    let t = spk_obs::now();
     let first = plan.execute(&refs).expect("planned spkadd");
     let t_first = t.elapsed().as_secs_f64();
-    let t = std::time::Instant::now();
+    let t = spk_obs::now();
     let second = plan.execute(&refs).expect("planned spkadd");
     let t_second = t.elapsed().as_secs_f64();
     println!(

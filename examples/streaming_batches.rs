@@ -33,7 +33,7 @@ fn main() {
         .build()
         .expect("plan");
     let mut running: Option<CscMatrix<f64>> = None;
-    let t = std::time::Instant::now();
+    let t = spk_obs::now();
     for (i, batch) in stream.chunks(16).enumerate() {
         let refs: Vec<&CscMatrix<f64>> = batch.iter().collect();
         let batch_sum = plan.execute(&refs).expect("batch spkadd");
@@ -59,7 +59,7 @@ fn main() {
 
     // Oracle: one-shot SpKAdd over the entire stream.
     let refs: Vec<&CscMatrix<f64>> = stream.iter().collect();
-    let t = std::time::Instant::now();
+    let t = spk_obs::now();
     let oneshot = spkadd_with(&refs, Algorithm::Hash, &opts).expect("one-shot spkadd");
     let t_oneshot = t.elapsed().as_secs_f64();
 

@@ -12,6 +12,9 @@
 //!
 //! # drive the sharded aggregation service with a synthetic stream:
 //! spkadd-cli serve-demo --shards 4 --keys 2 --matrices 64
+//!
+//! # lint the workspace's repo invariants (what CI's spk-lint enforces):
+//! spkadd-cli check
 //! ```
 
 use spkadd_suite::gen::{generate_collection, Pattern};
@@ -32,6 +35,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(rest),
         "gen" => cmd_gen(rest),
         "serve-demo" => cmd_serve_demo(rest),
+        "check" => cmd_check(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -60,6 +64,10 @@ USAGE:
   spkadd-cli serve-demo [--shards S] [--keys K] [--matrices N] [--rows R]
                   [--cols C] [--d D] [--pattern er|rmat] [--producers P]
                   [--algorithm NAME] [--seed S] [--metrics-json FILE]
+  spkadd-cli check [--root DIR]
+                  run the spk-lint repo invariants (SAFETY comments,
+                  sanctioned clock, no-unwrap in spk_server, shim parity,
+                  bench schema) and report file:line diagnostics
 
 Observability:
   --trace-json FILE    enable span tracing for the run, print the span
@@ -160,11 +168,11 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
         .pattern_cache(cache_cap)
         .build()
         .map_err(|e| e.to_string())?;
-    let t0 = std::time::Instant::now();
+    let t0 = spk_obs::now();
     let mut sum = CscMatrix::zeros(nrows, ncols);
     let mut stats = spkadd_suite::ExecuteStats::default();
     for pass in 0..repeat {
-        let t = std::time::Instant::now();
+        let t = spk_obs::now();
         stats = plan
             .execute_into_timed(&refs, &mut sum)
             .map_err(|e| e.to_string())?;
@@ -239,6 +247,39 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the repo-invariant lint (the same engine as the `spk-lint` CI
+/// binary) and prints one `file:line: [rule]` diagnostic per finding,
+/// so a violation is clickable in an editor and names the invariant it
+/// broke.
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let root = flag_value(args, "--root").unwrap_or(".");
+    let root_path = std::path::Path::new(root);
+    if !root_path.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "'{root}' does not look like a workspace root (no Cargo.toml); \
+             pass --root DIR"
+        ));
+    }
+    let report = spk_check::lint::run(root_path).map_err(|e| format!("{root}: {e}"))?;
+    if report.clean() {
+        println!(
+            "check: clean — {} files scanned, invariants: {}",
+            report.files_scanned,
+            spk_check::lint::RULES.join(", ")
+        );
+        return Ok(());
+    }
+    for v in &report.violations {
+        println!("{v}");
+    }
+    Err(format!(
+        "{} invariant violation(s) across {} scanned files — each line \
+         above is file:line: [invariant] detail",
+        report.violations.len(),
+        report.files_scanned
+    ))
+}
+
 /// Parses `--name` as a `T`, defaulting when absent but *rejecting*
 /// unparseable values — a typo'd number must not silently fall back to
 /// the default and measure a different workload than requested.
@@ -288,7 +329,7 @@ fn cmd_serve_demo(args: &[String]) -> Result<(), String> {
         "service up: {nshards} shards, {producers} producers, {keys} keys, algorithm {algorithm}"
     );
 
-    let t0 = std::time::Instant::now();
+    let t0 = spk_obs::now();
     std::thread::scope(|scope| {
         for (p, chunk) in mats.chunks(matrices.div_ceil(producers)).enumerate() {
             let svc = &svc;

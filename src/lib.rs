@@ -17,6 +17,10 @@
 //! See `examples/quickstart.rs` for a three-minute tour and DESIGN.md for
 //! the map from paper sections to modules.
 
+// No unsafe anywhere in this crate (checked repo-wide by spk-lint's
+// safety-comment rule where unsafe *is* allowed).
+#![forbid(unsafe_code)]
+
 pub use spk_cachesim as cachesim;
 pub use spk_gen as gen;
 pub use spk_obs as obs;
